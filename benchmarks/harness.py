@@ -1,0 +1,107 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§7).  Because the original experiments use ~1,000 measurement trials per
+subgraph on real hardware, the defaults here are scaled down so the whole
+suite runs in minutes on a laptop; set the environment variables below to
+approach the paper's budgets:
+
+* ``REPRO_BENCH_TRIALS``       — measurement trials per task (default 64)
+* ``REPRO_BENCH_SHAPES``       — shape configurations per operator (default 1, paper: 4)
+* ``REPRO_BENCH_BATCHES``      — comma-separated batch sizes (default "1", paper: "1,16")
+* ``REPRO_BENCH_NETWORK_TASKS``— subgraphs kept per network (default 4, paper: all)
+
+The relative comparisons (who wins, ablation ordering) are the reproduction
+target, not absolute GFLOP/s — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import SearchTask, TuningOptions
+from repro.hardware import CostSimulator, ProgramMeasurer, intel_cpu, intel_cpu_avx512, nvidia_gpu
+from repro.search import (
+    BeamSearchPolicy,
+    LibraryBaseline,
+    SketchPolicy,
+    limited_space_policy,
+    random_search_policy,
+)
+
+__all__ = [
+    "BENCH_TRIALS",
+    "BENCH_SHAPES",
+    "BENCH_BATCHES",
+    "BENCH_NETWORK_TASKS",
+    "tune_policy",
+    "run_frameworks_on_task",
+    "normalize_throughputs",
+    "print_table",
+]
+
+BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "48"))
+BENCH_SHAPES = int(os.environ.get("REPRO_BENCH_SHAPES", "1"))
+BENCH_BATCHES = [int(b) for b in os.environ.get("REPRO_BENCH_BATCHES", "1").split(",")]
+BENCH_NETWORK_TASKS = int(os.environ.get("REPRO_BENCH_NETWORK_TASKS", "3"))
+
+
+def tune_policy(policy, task, trials: int, seed: int = 0):
+    """Run one policy for a trial budget and return its best throughput (FLOP/s)."""
+    measurer = ProgramMeasurer(task.hardware_params, seed=seed)
+    policy.tune(TuningOptions(num_measure_trials=trials, num_measures_per_round=16, seed=seed), measurer)
+    return policy.best_throughput()
+
+
+def run_frameworks_on_task(task: SearchTask, trials: int, seed: int = 0,
+                           frameworks: Optional[Sequence[str]] = None) -> Dict[str, float]:
+    """Run the §7.1 framework line-up on one task; returns FLOP/s per framework.
+
+    Framework name mapping (see DESIGN.md substitution table):
+
+    * ``PyTorch``    — vendor library stand-in (expert schedule, AVX-512 on CPU)
+    * ``Halide``     — sequential construction + beam search
+    * ``FlexTensor`` / ``AutoTVM`` — template-style limited-space search
+    * ``Ansor``      — this work
+    """
+    frameworks = frameworks or ("PyTorch", "Halide", "FlexTensor", "AutoTVM", "Ansor")
+    results: Dict[str, float] = {}
+    for name in frameworks:
+        if name == "PyTorch":
+            hardware = intel_cpu_avx512() if task.hardware_params.kind == "cpu" else task.hardware_params
+            library = LibraryBaseline(task, hardware=hardware, name="library")
+            library.run()
+            results[name] = library.best_throughput()
+        elif name == "Halide":
+            policy = BeamSearchPolicy(task, seed=seed)
+            results[name] = tune_policy(policy, task, trials, seed)
+        elif name in ("FlexTensor", "AutoTVM"):
+            policy = limited_space_policy(task, seed=seed)
+            results[name] = tune_policy(policy, task, trials, seed)
+        elif name == "Ansor":
+            policy = SketchPolicy(task, seed=seed)
+            results[name] = tune_policy(policy, task, trials, seed)
+        else:
+            raise ValueError(f"unknown framework {name!r}")
+    return results
+
+
+def normalize_throughputs(results: Dict[str, float]) -> Dict[str, float]:
+    best = max(results.values()) if results else 1.0
+    return {k: (v / best if best > 0 else 0.0) for k, v in results.items()}
+
+
+def print_table(title: str, rows: List[Dict[str, float]], row_names: List[str]) -> None:
+    """Print a figure-style table: one row per workload, one column per framework."""
+    if not rows:
+        return
+    columns = list(rows[0].keys())
+    print(f"\n=== {title} ===")
+    header = f"{'workload':<28s}" + "".join(f"{c:>14s}" for c in columns)
+    print(header)
+    for name, row in zip(row_names, rows):
+        line = f"{name:<28s}" + "".join(f"{row[c]:>14.3f}" for c in columns)
+        print(line)

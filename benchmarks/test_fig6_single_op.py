@@ -1,0 +1,59 @@
+"""Figure 6: single-operator benchmark on the Intel CPU.
+
+Ten operators (C1D, C2D, C3D, GMM, GRP, DIL, DEP, T2D, CAP, NRM), the
+framework line-up of §7.1 (PyTorch/vendor library, Halide auto-scheduler,
+FlexTensor, AutoTVM, Ansor), throughput normalized to the best framework per
+operator.  The paper's headline: Ansor performs best on 19 of 20 cases.
+
+Scaled-down defaults: 1 shape per operator, batch size 1, 64 trials per
+framework (the paper uses 4 shapes x 2 batch sizes x 1,000 trials).  Set
+REPRO_BENCH_* to scale up.
+"""
+
+import pytest
+
+from repro import SearchTask, intel_cpu
+from repro.workloads import OP_NAMES, make_op_dag, single_op_shape_configs
+
+from harness import (
+    BENCH_BATCHES,
+    BENCH_SHAPES,
+    BENCH_TRIALS,
+    normalize_throughputs,
+    print_table,
+    run_frameworks_on_task,
+)
+
+# The heaviest operators dominate run time; all ten are included by default
+# with one shape each.
+FRAMEWORKS = ("PyTorch", "Halide", "FlexTensor", "Ansor")
+
+
+def run_figure6():
+    configs = single_op_shape_configs()
+    rows, row_names, winners = [], [], []
+    for batch in BENCH_BATCHES:
+        for op_name in OP_NAMES:
+            for shape_idx in range(min(BENCH_SHAPES, len(configs[op_name]))):
+                config = configs[op_name][shape_idx]
+                dag = make_op_dag(op_name, config, batch=batch)
+                task = SearchTask(dag, intel_cpu(), desc=f"{op_name}-{shape_idx}-b{batch}")
+                results = run_frameworks_on_task(task, BENCH_TRIALS, frameworks=FRAMEWORKS)
+                normalized = normalize_throughputs(results)
+                rows.append(normalized)
+                row_names.append(f"{op_name} shape{shape_idx} b{batch}")
+                winners.append(max(results, key=results.get))
+    return rows, row_names, winners
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_single_operator_benchmark(benchmark):
+    rows, row_names, winners = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    print_table("Figure 6: single operator, normalized throughput (1.0 = best)", rows, row_names)
+    ansor_wins = sum(1 for w in winners if w == "Ansor")
+    ansor_close = sum(1 for row in rows if row["Ansor"] >= 0.8)
+    print(f"\nAnsor best on {ansor_wins}/{len(winners)} cases; within 20% of best on {ansor_close}/{len(rows)}")
+    # Paper shape: Ansor is best or near-best on the large majority of cases.
+    # At the scaled-down default budget we require near-best on at least half
+    # of the cases; raise REPRO_BENCH_TRIALS to approach the paper's 19/20.
+    assert ansor_close >= int(0.5 * len(rows))

@@ -1,0 +1,53 @@
+"""Figure 8: subgraph benchmark (ConvLayer and TBG) on CPU and GPU.
+
+ConvLayer = conv2d + batch-norm + ReLU; TBG = transpose + transpose + batch
+matmul (multi-head attention pattern).  The framework line-up matches §7.2;
+Halide auto-scheduler is omitted on the GPU (as in the paper, where its GPU
+support is experimental).  Throughput is normalized to the best framework
+per subgraph/platform.
+"""
+
+import pytest
+
+from repro import SearchTask, intel_cpu, nvidia_gpu
+from repro.workloads import make_subgraph_dag, subgraph_shape_configs
+
+from harness import (
+    BENCH_BATCHES,
+    BENCH_SHAPES,
+    BENCH_TRIALS,
+    normalize_throughputs,
+    print_table,
+    run_frameworks_on_task,
+)
+
+PLATFORMS = [("C", intel_cpu()), ("G", nvidia_gpu())]
+
+
+def run_figure8():
+    configs = subgraph_shape_configs()
+    rows, row_names = [], []
+    for batch in BENCH_BATCHES:
+        for subgraph in ("ConvLayer", "TBG"):
+            for platform_name, hardware in PLATFORMS:
+                config = configs[subgraph][0]
+                dag = make_subgraph_dag(subgraph, config, batch=batch)
+                task = SearchTask(dag, hardware, desc=f"{subgraph}@{platform_name} b{batch}")
+                frameworks = ("PyTorch", "FlexTensor", "AutoTVM", "Ansor")
+                if platform_name == "C":
+                    frameworks = ("PyTorch", "Halide", "FlexTensor", "AutoTVM", "Ansor")
+                results = run_frameworks_on_task(task, BENCH_TRIALS, frameworks=frameworks)
+                normalized = normalize_throughputs(results)
+                normalized.setdefault("Halide", float("nan"))
+                rows.append(normalized)
+                row_names.append(f"{subgraph} @{platform_name} b{batch}")
+    return rows, row_names
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_subgraph_benchmark(benchmark):
+    rows, row_names = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    print_table("Figure 8: subgraph benchmark, normalized throughput (1.0 = best)", rows, row_names)
+    ansor_close = sum(1 for row in rows if row["Ansor"] >= 0.75)
+    print(f"\nAnsor within 25% of best on {ansor_close}/{len(rows)} cases")
+    assert ansor_close >= int(0.5 * len(rows))

@@ -1,0 +1,86 @@
+"""Figure 9: end-to-end network inference benchmark.
+
+The paper tunes ResNet-50, MobileNet-V2, 3D-ResNet-18, DCGAN and BERT on an
+Intel CPU, an NVIDIA GPU and an ARM CPU, and reports throughput normalized
+to the best framework per network.  Baselines: vendor-library-backed
+frameworks (PyTorch / TensorFlow / TensorFlow-Lite / TensorRT, modelled by
+the fixed expert schedule per subgraph) and AutoTVM (template-guided search
+with the same trial budget as Ansor, no task scheduler).
+
+Scaled-down defaults: batch 1, the heaviest REPRO_BENCH_NETWORK_TASKS
+subgraphs per network, REPRO_BENCH_TRIALS trials per network and the Intel
+CPU + ARM CPU platforms (add more by editing PLATFORMS).
+"""
+
+import os
+
+import pytest
+
+from repro.hardware import ProgramMeasurer, arm_cpu, intel_cpu, intel_cpu_avx512, nvidia_gpu
+from repro.scheduler import TaskScheduler
+from repro.search import LibraryBaseline, SketchPolicy, limited_space_policy
+from repro.workloads import extract_tasks
+
+from harness import BENCH_NETWORK_TASKS, BENCH_TRIALS, normalize_throughputs, print_table
+
+NETWORKS = os.environ.get("REPRO_BENCH_NETWORKS", "mobilenet-v2,dcgan,bert").split(",")
+PLATFORMS = [("Intel CPU", intel_cpu()), ("ARM CPU", arm_cpu())]
+
+
+def _library_latency(tasks, weights, hardware):
+    """Vendor-library end-to-end latency: sum of expert-schedule subgraph times."""
+    total = 0.0
+    library_hw = intel_cpu_avx512() if hardware.name == intel_cpu().name else hardware
+    for task, weight in zip(tasks, weights):
+        baseline = LibraryBaseline(task, hardware=library_hw)
+        baseline.run()
+        total += weight * baseline.best_cost
+    return total
+
+
+def _tuned_latency(tasks, weights, dnn, policy_factory, trials, strategy="gradient"):
+    scheduler = TaskScheduler(
+        tasks, task_weights=weights, task_to_dnn=dnn,
+        policy_factory=policy_factory, strategy=strategy, seed=0,
+    )
+    scheduler.tune(num_measure_trials=trials, num_measures_per_round=8,
+                   measurer=ProgramMeasurer(tasks[0].hardware_params, seed=0))
+    return scheduler.dnn_latency(0)
+
+
+def run_figure9():
+    rows, row_names = [], []
+    for platform_name, hardware in PLATFORMS:
+        for network in NETWORKS:
+            tasks, weights, dnn = extract_tasks(
+                [network], batch=1, hardware=hardware, max_tasks_per_network=BENCH_NETWORK_TASKS
+            )
+            latencies = {
+                "Library": _library_latency(tasks, weights, hardware),
+                "AutoTVM": _tuned_latency(
+                    tasks, weights, dnn,
+                    lambda t, m, s: limited_space_policy(t, seed=s, cost_model=m),
+                    BENCH_TRIALS, strategy="round_robin",
+                ),
+                "Ansor": _tuned_latency(
+                    tasks, weights, dnn,
+                    lambda t, m, s: SketchPolicy(t, cost_model=m, seed=s),
+                    BENCH_TRIALS,
+                ),
+            }
+            # convert to relative throughput (1 / latency, normalized)
+            throughput = {k: 1.0 / v for k, v in latencies.items()}
+            rows.append(normalize_throughputs(throughput))
+            row_names.append(f"{network} @ {platform_name}")
+    return rows, row_names
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_network_benchmark(benchmark):
+    rows, row_names = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    print_table("Figure 9: end-to-end networks, normalized throughput (1.0 = best)", rows, row_names)
+    ansor_wins = sum(1 for row in rows if row["Ansor"] >= 0.95)
+    autotvm_beaten = sum(1 for row in rows if row["Ansor"] >= row["AutoTVM"] * 0.9)
+    print(f"\nAnsor best or near-best on {ansor_wins}/{len(rows)} cases; "
+          f"matches or beats AutoTVM (within 10%) on {autotvm_beaten}/{len(rows)} cases")
+    assert autotvm_beaten >= int(0.5 * len(rows))

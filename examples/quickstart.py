@@ -1,0 +1,52 @@
+"""Quickstart: auto-schedule a matrix multiplication.
+
+This mirrors the paper's Figure 1 + §3 workflow:
+
+1. define the computation in the tensor expression language,
+2. create a search task for a hardware target,
+3. run the auto-scheduler (sketch generation, random annotation,
+   evolutionary fine-tuning with a learned cost model),
+4. inspect the best program it found.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import SearchTask, TuningOptions, auto_schedule, intel_cpu, te
+from repro.hardware import CostSimulator
+
+
+def matmul_relu(n: int):
+    """C = relu(A x B), the running example of the paper (Figure 5, input 1)."""
+    A = te.placeholder((n, n), name="A")
+    B = te.placeholder((n, n), name="B")
+    k = te.reduce_axis(n, "k")
+    C = te.compute((n, n), lambda i, j: te.sum_expr(A[i, k] * B[k, j], [k]), name="C", tag="matmul")
+    D = te.compute((n, n), lambda i, j: te.Max(C[i, j], te.const(0.0)), name="D", tag="relu")
+    return te.ComputeDAG([D])
+
+
+def main():
+    dag = matmul_relu(512)
+    target = intel_cpu()
+    task = SearchTask(dag, target, desc="matmul+relu 512")
+
+    print("Computation definition:")
+    print(dag.pretty_print())
+    print()
+
+    naive_cost = CostSimulator(target).estimate(dag.init_state())
+    print(f"naive program estimated latency : {naive_cost * 1e3:8.3f} ms")
+
+    options = TuningOptions(num_measure_trials=128, num_measures_per_round=16, seed=0, verbose=0)
+    best_state, best_cost = auto_schedule(task, options)
+
+    gflops = dag.flop_count() / best_cost / 1e9
+    print(f"tuned program estimated latency : {best_cost * 1e3:8.3f} ms   ({gflops:.1f} GFLOP/s)")
+    print(f"speedup over the naive program  : {naive_cost / best_cost:8.1f}x")
+    print()
+    print("Best program found:")
+    print(best_state.print_program())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Tune a ResNet-style conv2d + batch-norm + ReLU subgraph and compare the
+result against the baseline strategies of the paper (§7.1-§7.2):
+
+* a vendor-library-style fixed expert schedule,
+* template-guided search on a limited space (AutoTVM / FlexTensor style),
+* sequential construction with beam search (Halide auto-scheduler style),
+* random sampling without fine-tuning,
+* Ansor (this work).
+
+Run with:  python examples/tune_conv2d.py [num_trials]
+"""
+
+import sys
+
+from repro import SearchTask, TuningOptions, intel_cpu
+from repro.hardware import CostSimulator, ProgramMeasurer
+from repro.search import (
+    BeamSearchPolicy,
+    LibraryBaseline,
+    SketchPolicy,
+    limited_space_policy,
+    random_search_policy,
+)
+from repro.workloads import conv_layer
+
+
+def main():
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    dag = conv_layer(batch=1, in_channels=128, height=28, width=28,
+                     out_channels=128, kernel=3, stride=1, padding=1)
+    target = intel_cpu()
+    task = SearchTask(dag, target, desc="ConvLayer 128x28x28")
+    flops = task.flop_count()
+    naive = CostSimulator(target).estimate(dag.init_state())
+    print(f"workload: {task.desc}   ({flops / 1e9:.2f} GFLOP, naive {naive * 1e3:.2f} ms)\n")
+
+    library = LibraryBaseline(task, name="vendor library")
+    library.run()
+    print(f"{'vendor library':>18s}: {library.best_cost * 1e3:8.3f} ms  "
+          f"{library.best_throughput() / 1e9:7.1f} GFLOP/s  (no search)")
+
+    options = TuningOptions(num_measure_trials=trials, num_measures_per_round=16, seed=0)
+    strategies = [
+        ("random sampling", random_search_policy(task, seed=0)),
+        ("limited space", limited_space_policy(task, seed=0)),
+        ("beam search", BeamSearchPolicy(task, seed=0)),
+        ("Ansor (ours)", SketchPolicy(task, seed=0)),
+    ]
+    for name, policy in strategies:
+        measurer = ProgramMeasurer(target, seed=0)
+        policy.tune(options, measurer)
+        print(f"{name:>18s}: {policy.best_cost * 1e3:8.3f} ms  "
+              f"{policy.best_throughput() / 1e9:7.1f} GFLOP/s  ({policy.num_trials} trials)")
+
+    print("\nBest Ansor program:")
+    print(strategies[-1][1].best_state.print_program())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in fully offline environments where the ``wheel``
+package (needed for PEP 660 editable installs) is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "A Python reproduction of Ansor: Generating High-Performance Tensor "
+        "Programs for Deep Learning (OSDI 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

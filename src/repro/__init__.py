@@ -1,0 +1,61 @@
+"""repro — a Python reproduction of Ansor (OSDI 2020).
+
+Ansor: Generating High-Performance Tensor Programs for Deep Learning,
+Zheng et al., OSDI 2020.
+
+The package implements the full system described in the paper — the
+hierarchical search space (sketches + annotations), the evolutionary
+fine-tuner with a learned cost model, and the gradient-descent task
+scheduler — together with every substrate it needs: a tensor expression
+language, a loop-nest IR with a complete rewriting history, an analytical
+hardware model acting as the measurement target, a from-scratch gradient
+boosted tree cost model, baseline search strategies, and the workload zoo
+used by the paper's evaluation.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-reproduction results.
+"""
+
+from . import te
+from .auto_schedule import auto_schedule, auto_schedule_networks
+from .hardware.platform import HardwareParams, arm_cpu, intel_cpu, nvidia_gpu, target_from_name
+from .hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+from .hardware.simulator import CostSimulator
+from .ir.state import State
+from .records import TuningRecord, apply_history_best, load_records, save_records
+from .scheduler.task_scheduler import TaskScheduler
+from .search.sketch_policy import SketchPolicy
+from .search.space import FULL_SPACE, LIMITED_SPACE, SearchSpaceOptions
+from .task import SearchTask, TuningOptions
+from .te.dag import ComputeDAG
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "te",
+    "ComputeDAG",
+    "State",
+    "SearchTask",
+    "TuningOptions",
+    "auto_schedule",
+    "auto_schedule_networks",
+    "SketchPolicy",
+    "TaskScheduler",
+    "SearchSpaceOptions",
+    "FULL_SPACE",
+    "LIMITED_SPACE",
+    "HardwareParams",
+    "intel_cpu",
+    "arm_cpu",
+    "nvidia_gpu",
+    "target_from_name",
+    "CostSimulator",
+    "ProgramMeasurer",
+    "MeasureInput",
+    "MeasureResult",
+    "TuningRecord",
+    "save_records",
+    "load_records",
+    "apply_history_best",
+    "__version__",
+]

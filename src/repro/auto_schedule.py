@@ -1,0 +1,103 @@
+"""Top-level convenience API.
+
+Typical single-subgraph usage::
+
+    from repro import auto_schedule, SearchTask, TuningOptions, workloads
+    from repro.hardware import intel_cpu
+
+    dag = workloads.matmul(512, 512, 512)
+    task = SearchTask(dag, intel_cpu())
+    best_state, best_cost = auto_schedule(task, TuningOptions(num_measure_trials=128))
+
+Typical whole-network usage::
+
+    from repro import auto_schedule_networks
+
+    result = auto_schedule_networks(["resnet-50"], num_measure_trials=2000)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .hardware.measurer import ProgramMeasurer
+from .hardware.platform import HardwareParams
+from .ir.state import State
+from .records import save_records
+from .scheduler.objectives import Objective
+from .scheduler.task_scheduler import TaskScheduler
+from .search.sketch_policy import SketchPolicy
+from .task import SearchTask, TuningOptions
+from .workloads.networks import extract_tasks
+
+__all__ = ["auto_schedule", "auto_schedule_networks"]
+
+
+def auto_schedule(
+    task: SearchTask,
+    options: Optional[TuningOptions] = None,
+    policy: Optional[SketchPolicy] = None,
+    measurer: Optional[ProgramMeasurer] = None,
+    log_file: Optional[str] = None,
+) -> Tuple[Optional[State], float]:
+    """Search for the best program of a single task.
+
+    Returns ``(best_state, best_cost_seconds)``.
+    """
+    options = options or TuningOptions()
+    policy = policy or SketchPolicy(task, seed=options.seed, verbose=options.verbose)
+    measurer = measurer or ProgramMeasurer(task.hardware_params, seed=options.seed)
+
+    if log_file is None:
+        policy.tune(options, measurer)
+    else:
+        while policy.num_trials < options.num_measure_trials:
+            budget = min(
+                options.num_measures_per_round,
+                options.num_measure_trials - policy.num_trials,
+            )
+            inputs, results = policy.continue_search_one_round(budget, measurer)
+            if not inputs:
+                break
+            save_records(log_file, inputs, results)
+    return policy.best_state, policy.best_cost
+
+
+def auto_schedule_networks(
+    networks: Sequence[str],
+    batch: int = 1,
+    hardware: Optional[HardwareParams] = None,
+    num_measure_trials: int = 1000,
+    num_measures_per_round: int = 16,
+    objective: Optional[Objective] = None,
+    max_tasks_per_network: Optional[int] = None,
+    seed: int = 0,
+    verbose: int = 0,
+) -> Dict:
+    """Tune one or more networks end to end with the task scheduler (§6).
+
+    Returns a dictionary with the scheduler, the per-task best latencies and
+    the estimated end-to-end latency of every network.
+    """
+    tasks, weights, task_to_dnn = extract_tasks(
+        networks, batch=batch, hardware=hardware, max_tasks_per_network=max_tasks_per_network
+    )
+    scheduler = TaskScheduler(
+        tasks,
+        task_weights=weights,
+        task_to_dnn=task_to_dnn,
+        objective=objective,
+        seed=seed,
+        verbose=verbose,
+    )
+    best_costs = scheduler.tune(num_measure_trials, num_measures_per_round)
+    network_latencies = {
+        name: scheduler.dnn_latency(index) for index, name in enumerate(networks)
+    }
+    return {
+        "scheduler": scheduler,
+        "tasks": tasks,
+        "task_weights": weights,
+        "best_costs": best_costs,
+        "network_latencies": network_latencies,
+    }

@@ -1,0 +1,14 @@
+"""Lowering and reference execution."""
+
+from .executor import Executor, execute_dag
+from .lowering import BufferAccess, LoweredProgram, StageNest, linear_coefficients, lower_state
+
+__all__ = [
+    "Executor",
+    "execute_dag",
+    "BufferAccess",
+    "LoweredProgram",
+    "StageNest",
+    "linear_coefficients",
+    "lower_state",
+]

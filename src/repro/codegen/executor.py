@@ -1,0 +1,179 @@
+"""Reference executor for computation DAGs.
+
+The executor evaluates a :class:`~repro.te.dag.ComputeDAG` numerically with
+NumPy.  Schedules (states) never change the semantics of the computation —
+they only change the loop structure — so functional testing compares the
+naive DAG evaluation against hand-written NumPy references, and schedule
+transformations are validated structurally (iteration-space preservation)
+rather than re-executed.
+
+Use small shapes: the evaluator visits output elements one by one, which is
+what makes it simple enough to trust as a reference.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..te.dag import ComputeDAG
+from ..te.expr import (
+    Add,
+    Call,
+    Cast,
+    Compare,
+    Div,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    IntImm,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Reduce,
+    Select,
+    Sub,
+    TensorRead,
+    Var,
+)
+from ..te.operation import ComputeOp, PlaceholderOp
+
+__all__ = ["Executor", "execute_dag"]
+
+_MATH_FUNCS = {
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "tanh": math.tanh,
+    "sigmoid": lambda x: 1.0 / (1.0 + math.exp(-x)),
+    "erf": math.erf,
+    "abs": abs,
+}
+
+
+class Executor:
+    """Evaluate a computation DAG on concrete NumPy inputs."""
+
+    def __init__(self, dag: ComputeDAG):
+        self.dag = dag
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Evaluate the DAG.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping from placeholder name to NumPy array.
+
+        Returns
+        -------
+        Mapping from every op name (including intermediates) to its value.
+        """
+        buffers: Dict[str, np.ndarray] = {}
+        for op in self.dag.ops:
+            if isinstance(op, PlaceholderOp):
+                if op.name not in inputs:
+                    raise KeyError(f"missing input for placeholder {op.name!r}")
+                value = np.asarray(inputs[op.name], dtype=np.float64)
+                if value.shape != op.shape:
+                    raise ValueError(
+                        f"input {op.name!r} has shape {value.shape}, expected {op.shape}"
+                    )
+                buffers[op.name] = value
+            else:
+                assert isinstance(op, ComputeOp)
+                buffers[op.name] = self._evaluate_op(op, buffers)
+        return buffers
+
+    # ------------------------------------------------------------------
+    def _evaluate_op(self, op: ComputeOp, buffers: Dict[str, np.ndarray]) -> np.ndarray:
+        out = np.zeros(op.output.shape, dtype=np.float64)
+        spatial_ranges = [range(ax.extent) for ax in op.axes]
+        for coords in itertools.product(*spatial_ranges):
+            env = {ax.var.name: coord for ax, coord in zip(op.axes, coords)}
+            out[coords] = self._evaluate_expr(op.body, env, buffers)
+        return out
+
+    def _evaluate_expr(self, expr: Expr, env: Dict[str, float], buffers: Dict[str, np.ndarray]) -> float:
+        if isinstance(expr, Var):
+            return env[expr.name]
+        if isinstance(expr, IntImm):
+            return expr.value
+        if isinstance(expr, FloatImm):
+            return expr.value
+        if isinstance(expr, Add):
+            return self._evaluate_expr(expr.a, env, buffers) + self._evaluate_expr(expr.b, env, buffers)
+        if isinstance(expr, Sub):
+            return self._evaluate_expr(expr.a, env, buffers) - self._evaluate_expr(expr.b, env, buffers)
+        if isinstance(expr, Mul):
+            return self._evaluate_expr(expr.a, env, buffers) * self._evaluate_expr(expr.b, env, buffers)
+        if isinstance(expr, Div):
+            return self._evaluate_expr(expr.a, env, buffers) / self._evaluate_expr(expr.b, env, buffers)
+        if isinstance(expr, FloorDiv):
+            return self._evaluate_expr(expr.a, env, buffers) // self._evaluate_expr(expr.b, env, buffers)
+        if isinstance(expr, Mod):
+            return self._evaluate_expr(expr.a, env, buffers) % self._evaluate_expr(expr.b, env, buffers)
+        if isinstance(expr, Max):
+            return max(self._evaluate_expr(expr.a, env, buffers), self._evaluate_expr(expr.b, env, buffers))
+        if isinstance(expr, Min):
+            return min(self._evaluate_expr(expr.a, env, buffers), self._evaluate_expr(expr.b, env, buffers))
+        if isinstance(expr, Compare):
+            a = self._evaluate_expr(expr.a, env, buffers)
+            b = self._evaluate_expr(expr.b, env, buffers)
+            return float(
+                {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b, "==": a == b, "!=": a != b}[expr.op]
+            )
+        if isinstance(expr, Call):
+            args = [self._evaluate_expr(a, env, buffers) for a in expr.args]
+            func = _MATH_FUNCS.get(expr.func)
+            if func is None:
+                raise ValueError(f"unknown intrinsic {expr.func!r}")
+            return func(*args)
+        if isinstance(expr, Select):
+            cond = self._evaluate_expr(expr.cond, env, buffers)
+            if cond:
+                return self._evaluate_expr(expr.true_value, env, buffers)
+            return self._evaluate_expr(expr.false_value, env, buffers)
+        if isinstance(expr, Cast):
+            return self._evaluate_expr(expr.value, env, buffers)
+        if isinstance(expr, TensorRead):
+            buffer = buffers[expr.tensor.name]
+            indices = []
+            for dim, index in enumerate(expr.indices):
+                value = int(self._evaluate_expr(index, env, buffers))
+                if value < 0 or value >= buffer.shape[dim]:
+                    # Out-of-bounds reads model implicit zero padding, which is
+                    # how the workload definitions express padded convolution.
+                    return 0.0
+                indices.append(value)
+            return float(buffer[tuple(indices)])
+        if isinstance(expr, Reduce):
+            return self._evaluate_reduce(expr, env, buffers)
+        raise TypeError(f"cannot evaluate expression node {type(expr).__name__}")
+
+    def _evaluate_reduce(self, expr: Reduce, env: Dict[str, float], buffers: Dict[str, np.ndarray]) -> float:
+        axes = expr.axis
+        ranges = [range(ax.extent) for ax in axes]
+        accumulator = expr.init
+        for coords in itertools.product(*ranges):
+            local_env = dict(env)
+            for ax, coord in zip(axes, coords):
+                local_env[ax.var.name] = coord
+            value = self._evaluate_expr(expr.value, local_env, buffers)
+            if expr.combiner == "sum":
+                accumulator += value
+            elif expr.combiner == "max":
+                accumulator = max(accumulator, value)
+            else:
+                accumulator = min(accumulator, value)
+        return accumulator
+
+
+def execute_dag(dag: ComputeDAG, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Convenience wrapper around :class:`Executor`."""
+    return Executor(dag).run(inputs)

@@ -1,0 +1,17 @@
+"""Learned cost model: program features and gradient boosted trees."""
+
+from .features import FEATURE_LENGTH, extract_nest_features, extract_program_features, feature_names
+from .gbdt import GBDTRegressor, RegressionTree
+from .model import CostModel, LearnedCostModel, RandomCostModel
+
+__all__ = [
+    "FEATURE_LENGTH",
+    "extract_nest_features",
+    "extract_program_features",
+    "feature_names",
+    "GBDTRegressor",
+    "RegressionTree",
+    "CostModel",
+    "LearnedCostModel",
+    "RandomCostModel",
+]

@@ -1,0 +1,373 @@
+"""Per-statement program features (Appendix B of the paper).
+
+The learned cost model predicts a score for every *innermost non-loop
+statement* of a program and sums the scores.  In this IR every non-inlined
+stage nest has exactly one innermost statement, so features are extracted
+per :class:`~repro.codegen.lowering.StageNest`, in the context of the full
+program (its outer loops, annotations and buffer accesses).
+
+The feature groups follow Appendix B:
+
+* float / integer arithmetic-operation counts,
+* vectorization, unrolling and parallelization related features,
+* GPU thread-binding related features,
+* a 10-point arithmetic-intensity curve,
+* buffer access features for (up to) five accessed buffers,
+* allocation related features,
+* other features (outer loop counts, ``auto_unroll_max_step``).
+
+Magnitude features use a ``log2(1 + x)`` transform, matching the released
+Ansor implementation's feature scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..codegen.lowering import BufferAccess, LoweredProgram, StageNest, lower_state
+from ..ir.loop import Iterator
+from ..ir.state import State
+from ..te.expr import (
+    Add,
+    Call,
+    Compare,
+    Div,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Reduce,
+    Select,
+    Sub,
+    post_order_visit,
+)
+from ..te.operation import ComputeOp
+
+__all__ = ["FEATURE_LENGTH", "extract_nest_features", "extract_program_features", "feature_names"]
+
+_MAX_BUFFERS = 5
+_CURVE_SAMPLES = 10
+_CACHE_LINE_BYTES = 64
+
+
+def _log(x: float) -> float:
+    return math.log2(1.0 + max(x, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic features
+# ---------------------------------------------------------------------------
+
+
+def _arith_counts(op: ComputeOp) -> List[float]:
+    """Counts of float arithmetic by category, then integer arithmetic."""
+    add = sub = mul = div = mod = cmp = intrinsic = other = 0
+
+    def visit(node: Expr) -> None:
+        nonlocal add, sub, mul, div, mod, cmp, intrinsic, other
+        if isinstance(node, Add):
+            add += 1
+        elif isinstance(node, Sub):
+            sub += 1
+        elif isinstance(node, Mul):
+            mul += 1
+        elif isinstance(node, (Div, FloorDiv)):
+            div += 1
+        elif isinstance(node, Mod):
+            mod += 1
+        elif isinstance(node, Compare):
+            cmp += 1
+        elif isinstance(node, Call):
+            intrinsic += 1
+        elif isinstance(node, (Max, Min, Select)):
+            other += 1
+        elif isinstance(node, Reduce):
+            add += 1  # the accumulate
+
+    post_order_visit(op.body, visit)
+    float_counts = [add, sub, mul, div, mod, cmp, intrinsic, other]
+    # Integer arithmetic: index computation — approximate by the number of
+    # non-trivial index expressions in the reads.
+    int_add = int_mul = 0
+    for read in op.reads():
+        for index in read.indices:
+            n_nodes = 0
+
+            def count(node: Expr) -> None:
+                nonlocal n_nodes
+                n_nodes += 1
+
+            post_order_visit(index, count)
+            if n_nodes > 1:
+                int_add += 1
+                int_mul += 1
+    int_counts = [int_add, 0, int_mul, 0, 0, 0, 0, 0]
+    return [_log(c) for c in float_counts + int_counts]
+
+
+# ---------------------------------------------------------------------------
+# Annotation features
+# ---------------------------------------------------------------------------
+
+_POSITION_KINDS = (
+    "InnerSpatial",
+    "MiddleSpatial",
+    "OuterSpatial",
+    "InnerReduce",
+    "MiddleReduce",
+    "OuterReduce",
+    "Mixed",
+    "None",
+)
+
+
+def _annotation_features(loops: Sequence[Iterator], annotation: str) -> List[float]:
+    """Length / position / product / count features for one annotation kind."""
+    annotated = [(idx, loop) for idx, loop in enumerate(loops) if loop.annotation == annotation]
+    if not annotated:
+        one_hot = [0.0] * len(_POSITION_KINDS)
+        one_hot[_POSITION_KINDS.index("None")] = 1.0
+        return [0.0] + one_hot + [0.0, 0.0]
+    innermost_idx, innermost = annotated[-1]
+    n = len(loops)
+    third = max(n // 3, 1)
+    if innermost.is_reduce():
+        base = "Reduce"
+    elif innermost.is_spatial():
+        base = "Spatial"
+    else:
+        base = None
+    if base is None:
+        position = "Mixed"
+    elif innermost_idx >= n - third:
+        position = f"Inner{base}"
+    elif innermost_idx < third:
+        position = f"Outer{base}"
+    else:
+        position = f"Middle{base}"
+    one_hot = [0.0] * len(_POSITION_KINDS)
+    one_hot[_POSITION_KINDS.index(position)] = 1.0
+    product = 1
+    for _, loop in annotated:
+        product *= loop.extent
+    return [_log(innermost.extent)] + one_hot + [_log(product), _log(len(annotated))]
+
+
+def _gpu_features(loops: Sequence[Iterator]) -> List[float]:
+    """GPU thread-binding lengths.
+
+    This IR expresses GPU mapping through ``parallel`` (block-level) and
+    ``vectorize`` (thread/warp-level) annotations rather than explicit
+    bindings, so the seven binding lengths are derived from those: the first
+    three parallel loops stand in for blockIdx.{x,y,z} and the innermost
+    vectorized loop for threadIdx.x; the rest are zero.
+    """
+    parallel = [loop.extent for loop in loops if loop.annotation == "parallel"][:3]
+    while len(parallel) < 3:
+        parallel.append(0)
+    vectorized = [loop.extent for loop in loops if loop.annotation == "vectorize"][:1]
+    thread_x = vectorized[0] if vectorized else 0
+    values = parallel + [thread_x, 0, 0, 0]
+    return [_log(v) for v in values]
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic intensity curve
+# ---------------------------------------------------------------------------
+
+
+def _arithmetic_intensity_curve(nest: StageNest) -> List[float]:
+    """Sample the arithmetic-intensity-vs-loop-level curve at 10 points."""
+    loops = list(nest.outer_context) + list(nest.loops)
+    if not loops:
+        return [0.0] * _CURVE_SAMPLES
+    points: List[float] = []
+    trip = 1.0
+    for level in range(len(loops)):
+        suffix = loops[level:]
+        trip_suffix = 1.0
+        for loop in suffix:
+            trip_suffix *= loop.extent
+        flops = nest.flops_per_iter * trip_suffix
+        bytes_accessed = 0.0
+        for access in nest.accesses:
+            # distinct bytes touched by the suffix loops
+            from ..hardware.simulator import _access_footprint_bytes
+
+            bytes_accessed += _access_footprint_bytes(access, suffix)
+        intensity = flops / max(bytes_accessed, 1.0)
+        points.append(intensity)
+    points = points[::-1]  # innermost first, like the paper's per-level curve
+    # Linear interpolation onto a fixed number of samples.
+    xs = np.linspace(0, len(points) - 1, _CURVE_SAMPLES)
+    interp = np.interp(xs, np.arange(len(points)), np.array(points))
+    return [_log(v) for v in interp]
+
+
+# ---------------------------------------------------------------------------
+# Buffer access features
+# ---------------------------------------------------------------------------
+
+_ACCESS_TYPES = ("read", "write", "read_write")
+_REUSE_TYPES = ("LoopMultipleRead", "SerialMultipleRead", "NoReuse")
+
+
+def _buffer_features(nest: StageNest) -> List[float]:
+    loops = list(nest.outer_context) + list(nest.loops)
+    total_iters = max(nest.total_iterations(), 1)
+    inner = nest.loops[-1] if nest.loops else None
+
+    from ..hardware.simulator import _access_footprint_bytes, _access_stride_elements, _loop_affects_access
+
+    # Merge multiple accesses to the same buffer into one record.
+    merged: Dict[str, Dict] = {}
+    for access in nest.accesses:
+        entry = merged.setdefault(
+            access.buffer, {"access": access, "read": False, "write": False, "count": 0}
+        )
+        entry["read"] |= not access.is_write
+        entry["write"] |= access.is_write
+        entry["count"] += 1
+
+    records = list(merged.values())
+    # Keep the largest buffers when there are more than the feature budget.
+    records.sort(key=lambda e: e["access"].size_bytes(), reverse=True)
+    records = records[:_MAX_BUFFERS]
+
+    features: List[float] = []
+    for entry in records:
+        access: BufferAccess = entry["access"]
+        if entry["read"] and entry["write"]:
+            access_type = "read_write"
+        elif entry["write"]:
+            access_type = "write"
+        else:
+            access_type = "read"
+        type_one_hot = [1.0 if access_type == t else 0.0 for t in _ACCESS_TYPES]
+
+        touched_bytes = total_iters * access.dtype_bytes * entry["count"]
+        unique_bytes = _access_footprint_bytes(access, loops)
+        lines = touched_bytes / _CACHE_LINE_BYTES
+        unique_lines = max(unique_bytes / _CACHE_LINE_BYTES, 1.0)
+
+        # Reuse analysis: find the innermost loop that does not change the
+        # accessed elements (a pure reuse loop).
+        reuse_type = "NoReuse"
+        reuse_distance_iters = 0.0
+        reuse_distance_bytes = 0.0
+        reuse_count = 1.0
+        suffix_trip = 1.0
+        for idx in range(len(nest.loops) - 1, -1, -1):
+            loop = nest.loops[idx]
+            if not _loop_affects_access(loop, access):
+                reuse_type = "LoopMultipleRead"
+                reuse_count = float(loop.extent)
+                reuse_distance_iters = suffix_trip
+                reuse_distance_bytes = _access_footprint_bytes(access, nest.loops[idx + 1:])
+                break
+            suffix_trip *= loop.extent
+        else:
+            if entry["count"] > 1:
+                reuse_type = "SerialMultipleRead"
+                reuse_count = float(entry["count"])
+        reuse_one_hot = [1.0 if reuse_type == t else 0.0 for t in _REUSE_TYPES]
+
+        stride = abs(_access_stride_elements(access, inner)) if inner is not None else 0
+
+        features.extend(type_one_hot)
+        features.append(_log(touched_bytes))
+        features.append(_log(unique_bytes))
+        features.append(_log(lines))
+        features.append(_log(unique_lines))
+        features.extend(reuse_one_hot)
+        features.append(_log(reuse_distance_iters))
+        features.append(_log(reuse_distance_bytes))
+        features.append(_log(reuse_count))
+        features.append(_log(stride))
+        features.append(_log(touched_bytes / max(reuse_count, 1.0)))
+        features.append(_log(unique_bytes / max(reuse_count, 1.0)))
+        features.append(_log(lines / max(reuse_count, 1.0)))
+        features.append(_log(unique_lines / max(reuse_count, 1.0)))
+
+    per_buffer = 3 + 4 + 3 + 4 + 4
+    features.extend([0.0] * (per_buffer * (_MAX_BUFFERS - len(records))))
+    return features
+
+
+# ---------------------------------------------------------------------------
+# Putting it together
+# ---------------------------------------------------------------------------
+
+
+def _allocation_features(nest: StageNest) -> List[float]:
+    writes = nest.writes()
+    if writes:
+        out_bytes = writes[0].size_bytes()
+    else:
+        out_bytes = 0
+    return [_log(out_bytes), _log(len(writes))]
+
+
+def _other_features(nest: StageNest) -> List[float]:
+    n_outer = len(nest.outer_context)
+    prod_outer = 1
+    for loop in nest.outer_context:
+        prod_outer *= loop.extent
+    return [_log(n_outer), _log(prod_outer), _log(nest.stage.auto_unroll_max_step)]
+
+
+def extract_nest_features(nest: StageNest) -> np.ndarray:
+    """Extract the feature vector of one innermost statement."""
+    loops = list(nest.outer_context) + list(nest.loops)
+    op = nest.stage.op
+    assert isinstance(op, ComputeOp)
+    parts: List[float] = []
+    parts.extend(_arith_counts(op))
+    parts.extend(_annotation_features(loops, "vectorize"))
+    parts.extend(_annotation_features(loops, "unroll"))
+    parts.extend(_annotation_features(loops, "parallel"))
+    parts.extend(_gpu_features(loops))
+    parts.extend(_arithmetic_intensity_curve(nest))
+    parts.extend(_buffer_features(nest))
+    parts.extend(_allocation_features(nest))
+    parts.extend(_other_features(nest))
+    return np.asarray(parts, dtype=np.float64)
+
+
+def feature_names() -> List[str]:
+    """Human readable names for each feature dimension (for debugging)."""
+    names: List[str] = []
+    names += [f"float_{k}" for k in ("add", "sub", "mul", "div", "mod", "cmp", "intrin", "other")]
+    names += [f"int_{k}" for k in ("add", "sub", "mul", "div", "mod", "cmp", "intrin", "other")]
+    for ann in ("vec", "unroll", "parallel"):
+        names += [f"{ann}_len"] + [f"{ann}_pos_{p}" for p in _POSITION_KINDS] + [f"{ann}_prod", f"{ann}_num"]
+    names += [f"gpu_bind_{i}" for i in range(7)]
+    names += [f"arith_intensity_{i}" for i in range(_CURVE_SAMPLES)]
+    per_buffer = [
+        "acc_read", "acc_write", "acc_rw", "bytes", "unique_bytes", "lines", "unique_lines",
+        "reuse_loop", "reuse_serial", "reuse_none", "reuse_dist_iter", "reuse_dist_bytes",
+        "reuse_count", "stride", "bytes_per_reuse", "unique_bytes_per_reuse",
+        "lines_per_reuse", "unique_lines_per_reuse",
+    ]
+    for b in range(_MAX_BUFFERS):
+        names += [f"buf{b}_{n}" for n in per_buffer]
+    names += ["alloc_size", "alloc_count"]
+    names += ["outer_loop_num", "outer_loop_prod", "auto_unroll_max_step"]
+    return names
+
+
+FEATURE_LENGTH = len(feature_names())
+
+
+def extract_program_features(state: State) -> np.ndarray:
+    """Feature matrix of a complete program: one row per innermost statement."""
+    program = lower_state(state)
+    rows = [extract_nest_features(nest) for nest in program.all_nests()]
+    if not rows:
+        return np.zeros((0, FEATURE_LENGTH))
+    return np.vstack(rows)

@@ -1,0 +1,192 @@
+"""Cost models used by the performance tuner (§5.2).
+
+Two models are provided:
+
+* :class:`RandomCostModel` — returns random scores; used by the
+  "no fine-tuning" ablation and as the cold-start behaviour before any
+  measurement data exists.
+* :class:`LearnedCostModel` — the paper's learned model: gradient boosted
+  decision trees over per-statement features.  The model predicts a score
+  per innermost statement and sums them per program.  The training loss is
+  the throughput-weighted squared error
+  ``loss(f, P, y) = y * (sum_{s in S(P)} f(s) - y)^2``, with throughputs
+  normalized to ``[0, 1]`` per DAG (per task).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.measurer import MeasureInput, MeasureResult
+from ..ir.state import State
+from .features import FEATURE_LENGTH, extract_program_features
+from .gbdt import GBDTRegressor
+
+__all__ = ["CostModel", "RandomCostModel", "LearnedCostModel"]
+
+
+class CostModel:
+    """Interface of all cost models: higher predicted score = better program."""
+
+    def update(self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]) -> None:
+        raise NotImplementedError
+
+    def predict(self, task, states: Sequence[State]) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict_stages(self, task, state: State) -> np.ndarray:
+        """Per-statement scores (used by node-based crossover)."""
+        scores = self.predict(task, [state])
+        return np.array([scores[0]])
+
+
+class RandomCostModel(CostModel):
+    """A model that knows nothing: uniform random scores."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def update(self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]) -> None:
+        return None
+
+    def predict(self, task, states: Sequence[State]) -> np.ndarray:
+        return self.rng.random(len(states))
+
+    def predict_stages(self, task, state: State) -> np.ndarray:
+        return self.rng.random(max(len(state.compute_stages()), 1))
+
+
+class LearnedCostModel(CostModel):
+    """GBDT cost model over per-statement features (paper §5.2, Appendix B)."""
+
+    def __init__(
+        self,
+        n_rounds: int = 30,
+        max_depth: int = 4,
+        learning_rate: float = 0.2,
+        max_training_samples: int = 1024,
+        retrain_every: int = 1,
+        seed: int = 0,
+    ):
+        self.booster = GBDTRegressor(
+            n_rounds=n_rounds,
+            max_depth=max_depth,
+            learning_rate=learning_rate,
+            seed=seed,
+        )
+        self.max_training_samples = max_training_samples
+        self.retrain_every = retrain_every
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        # Training set: one entry per measured program.
+        self._features: List[np.ndarray] = []       # per-program feature matrices
+        self._throughputs: List[float] = []         # raw throughput (flops / second)
+        self._workloads: List[str] = []             # workload key per program
+        self._updates_since_train = 0
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def update(self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]) -> None:
+        """Add measured programs to the training set and re-train."""
+        added = 0
+        for inp, res in zip(inputs, results):
+            if not res.valid:
+                continue
+            flops = inp.task.compute_dag.flop_count()
+            throughput = flops / res.mean_cost
+            try:
+                features = extract_program_features(inp.state)
+            except Exception:
+                continue
+            if features.shape[0] == 0:
+                continue
+            self._features.append(features)
+            self._throughputs.append(throughput)
+            self._workloads.append(inp.task.workload_key)
+            added += 1
+        if added == 0:
+            return
+        # Bound the training set to the most recent programs.
+        if len(self._features) > self.max_training_samples:
+            excess = len(self._features) - self.max_training_samples
+            self._features = self._features[excess:]
+            self._throughputs = self._throughputs[excess:]
+            self._workloads = self._workloads[excess:]
+        self._updates_since_train += 1
+        if self._updates_since_train >= self.retrain_every:
+            self._train()
+            self._updates_since_train = 0
+
+    def _normalized_labels(self) -> np.ndarray:
+        """Throughputs normalized to [0, 1] within each workload (DAG)."""
+        throughputs = np.asarray(self._throughputs)
+        labels = np.zeros_like(throughputs)
+        best: Dict[str, float] = {}
+        for key, value in zip(self._workloads, throughputs):
+            best[key] = max(best.get(key, 0.0), value)
+        for i, (key, value) in enumerate(zip(self._workloads, throughputs)):
+            labels[i] = value / best[key] if best[key] > 0 else 0.0
+        return labels
+
+    def _train(self) -> None:
+        if not self._features:
+            return
+        labels = self._normalized_labels()
+        # Stack statements; remember which program each statement belongs to.
+        stacked = np.vstack(self._features)
+        group = np.concatenate(
+            [np.full(f.shape[0], i, dtype=np.int64) for i, f in enumerate(self._features)]
+        )
+        n_programs = len(self._features)
+        # Statement weight = its program's (normalized) throughput; the paper
+        # weights the loss by the throughput y so fast programs matter more.
+        weights = np.maximum(labels[group], 1e-3)
+
+        def residual_fn(pred: np.ndarray) -> np.ndarray:
+            program_pred = np.bincount(group, weights=pred, minlength=n_programs)
+            residual_per_program = labels - program_pred
+            return residual_per_program[group]
+
+        self.booster.fit_boosting(stacked, residual_fn, sample_weight=weights)
+        self._trained = True
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._features)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._trained
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, task, states: Sequence[State]) -> np.ndarray:
+        if not states:
+            return np.zeros(0)
+        if not self._trained:
+            return self.rng.random(len(states))
+        scores = np.zeros(len(states))
+        for i, state in enumerate(states):
+            try:
+                features = extract_program_features(state)
+            except Exception:
+                scores[i] = -1e9
+                continue
+            if features.shape[0] == 0:
+                scores[i] = -1e9
+                continue
+            scores[i] = float(self.booster.predict(features).sum())
+        return scores
+
+    def predict_stages(self, task, state: State) -> np.ndarray:
+        if not self._trained:
+            return self.rng.random(max(len(state.compute_stages()), 1))
+        features = extract_program_features(state)
+        if features.shape[0] == 0:
+            return np.zeros(1)
+        return self.booster.predict(features)

@@ -1,0 +1,21 @@
+"""Hardware models and the measurement harness."""
+
+from .measurer import MeasureInput, MeasureResult, ProgramMeasurer
+from .platform import CacheLevel, HardwareParams, arm_cpu, intel_cpu, intel_cpu_avx512, nvidia_gpu, target_from_name
+from .simulator import CostSimulator, NestCost, ProgramCost
+
+__all__ = [
+    "CacheLevel",
+    "HardwareParams",
+    "intel_cpu",
+    "intel_cpu_avx512",
+    "arm_cpu",
+    "nvidia_gpu",
+    "target_from_name",
+    "CostSimulator",
+    "NestCost",
+    "ProgramCost",
+    "MeasureInput",
+    "MeasureResult",
+    "ProgramMeasurer",
+]

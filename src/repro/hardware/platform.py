@@ -1,0 +1,171 @@
+"""Hardware platform descriptions.
+
+The paper evaluates on three platforms: a 20-core Intel Platinum 8269CY, a
+4-core ARM Cortex-A53 (Raspberry Pi 3b+), and an NVIDIA V100.  This module
+describes those machines for the analytical machine model
+(:mod:`repro.hardware.simulator`) that stands in for real hardware in this
+reproduction (see DESIGN.md, substitution table).
+
+Numbers are order-of-magnitude realistic (clock rates, SIMD widths, cache
+sizes, bandwidths); the reproduction claims *relative* behaviour, not
+absolute GFLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["CacheLevel", "HardwareParams", "intel_cpu", "arm_cpu", "nvidia_gpu", "target_from_name"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy."""
+
+    name: str
+    capacity_bytes: int
+    bandwidth_bytes_per_sec: float
+    shared: bool = False
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Machine description used by the analytical cost simulator."""
+
+    name: str
+    kind: str  # "cpu" or "gpu"
+    num_cores: int
+    clock_hz: float
+    vector_lanes: int          # float32 lanes per SIMD instruction
+    fma_per_cycle: int         # fused multiply-add issue width per core
+    cache_levels: Tuple[CacheLevel, ...]
+    dram_bandwidth_bytes_per_sec: float
+    dram_parallel_scaling: int       # how many cores can saturate DRAM together
+    loop_overhead_sec: float         # cost of one (non-unrolled) loop iteration's control
+    parallel_launch_overhead_sec: float
+    min_parallel_task_flops: float   # below this per-task work, parallel efficiency drops
+    max_vector_lanes_bonus: float = 1.0
+    max_unroll_steps: int = 512
+
+    # -- derived ---------------------------------------------------------
+    def peak_scalar_flops_per_core(self) -> float:
+        return self.clock_hz * self.fma_per_cycle * 2.0
+
+    def peak_flops(self) -> float:
+        return self.peak_scalar_flops_per_core() * self.vector_lanes * self.num_cores
+
+    def innermost_cache(self) -> CacheLevel:
+        return self.cache_levels[0]
+
+    def last_level_cache(self) -> CacheLevel:
+        return self.cache_levels[-1]
+
+
+def intel_cpu() -> HardwareParams:
+    """A 20-core server-class Intel CPU (Platinum 8269CY class, AVX2 profile).
+
+    The paper disables AVX-512 for search frameworks in the single-operator
+    benchmark, so the default vector width here is 8 float32 lanes (AVX2).
+    """
+    return HardwareParams(
+        name="intel-20c",
+        kind="cpu",
+        num_cores=20,
+        clock_hz=3.1e9,
+        vector_lanes=8,
+        fma_per_cycle=2,
+        cache_levels=(
+            CacheLevel("L1", 32 * 1024, 800e9),
+            CacheLevel("L2", 1024 * 1024, 400e9),
+            CacheLevel("L3", 36 * 1024 * 1024, 200e9, shared=True),
+        ),
+        dram_bandwidth_bytes_per_sec=100e9,
+        dram_parallel_scaling=8,
+        loop_overhead_sec=0.7e-9,
+        parallel_launch_overhead_sec=4e-6,
+        min_parallel_task_flops=16 * 1024,
+    )
+
+
+def intel_cpu_avx512() -> HardwareParams:
+    """The same Intel CPU with AVX-512 enabled (used by the vendor library
+    baseline in the single-operator benchmark, §7.1)."""
+    base = intel_cpu()
+    return HardwareParams(
+        name="intel-20c-avx512",
+        kind="cpu",
+        num_cores=base.num_cores,
+        clock_hz=base.clock_hz,
+        vector_lanes=16,
+        fma_per_cycle=2,
+        cache_levels=base.cache_levels,
+        dram_bandwidth_bytes_per_sec=base.dram_bandwidth_bytes_per_sec,
+        dram_parallel_scaling=base.dram_parallel_scaling,
+        loop_overhead_sec=base.loop_overhead_sec,
+        parallel_launch_overhead_sec=base.parallel_launch_overhead_sec,
+        min_parallel_task_flops=base.min_parallel_task_flops,
+    )
+
+
+def arm_cpu() -> HardwareParams:
+    """A 4-core ARM Cortex-A53 (Raspberry Pi 3b+ class, NEON)."""
+    return HardwareParams(
+        name="arm-4c",
+        kind="cpu",
+        num_cores=4,
+        clock_hz=1.4e9,
+        vector_lanes=4,
+        fma_per_cycle=1,
+        cache_levels=(
+            CacheLevel("L1", 32 * 1024, 30e9),
+            CacheLevel("L2", 512 * 1024, 15e9, shared=True),
+        ),
+        dram_bandwidth_bytes_per_sec=4e9,
+        dram_parallel_scaling=2,
+        loop_overhead_sec=3.0e-9,
+        parallel_launch_overhead_sec=15e-6,
+        min_parallel_task_flops=8 * 1024,
+    )
+
+
+def nvidia_gpu() -> HardwareParams:
+    """An NVIDIA V100-class GPU modelled as a very wide parallel machine.
+
+    Thread blocks map onto the ``parallel`` annotation and warps onto the
+    ``vectorize`` annotation: the machine wants tens of thousands of
+    independent iterations and 32-wide contiguous inner loops.
+    """
+    return HardwareParams(
+        name="nvidia-v100",
+        kind="gpu",
+        num_cores=80,            # SMs
+        clock_hz=1.4e9,
+        vector_lanes=32,         # warp width
+        fma_per_cycle=64,        # FP32 cores per SM / issue approximation
+        cache_levels=(
+            CacheLevel("SMEM", 96 * 1024, 12e12),
+            CacheLevel("L2", 6 * 1024 * 1024, 3e12, shared=True),
+        ),
+        dram_bandwidth_bytes_per_sec=900e9,
+        dram_parallel_scaling=80,
+        loop_overhead_sec=0.3e-9,
+        parallel_launch_overhead_sec=8e-6,
+        min_parallel_task_flops=2 * 1024,
+    )
+
+
+_TARGETS = {
+    "intel-cpu": intel_cpu,
+    "intel-cpu-avx512": intel_cpu_avx512,
+    "arm-cpu": arm_cpu,
+    "nvidia-gpu": nvidia_gpu,
+}
+
+
+def target_from_name(name: str) -> HardwareParams:
+    """Look up a target by name (``intel-cpu``, ``arm-cpu``, ``nvidia-gpu``)."""
+    key = name.lower()
+    if key not in _TARGETS:
+        raise ValueError(f"unknown target {name!r}; known: {sorted(_TARGETS)}")
+    return _TARGETS[key]()

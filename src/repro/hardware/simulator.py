@@ -1,0 +1,346 @@
+"""Analytical machine model: the stand-in for real hardware measurement.
+
+The simulator estimates the execution time of a lowered tensor program on a
+:class:`~repro.hardware.platform.HardwareParams` machine.  It models the
+program-level effects every schedule decision in the search space has on a
+real machine:
+
+* **multi-level tiling** — a classic cache-blocking model: for every cache
+  level, the largest loop suffix whose combined working set fits in the
+  cache is found; data touched by that suffix is loaded once per iteration
+  of the remaining outer loops.  Good tiles make the suffix's
+  footprint-per-iteration small, which reduces traffic.
+* **vectorization** — the innermost loop, when annotated ``vectorize``,
+  speeds up compute by up to the SIMD width; the gain degrades when the
+  accesses are not contiguous in that loop or the extent does not fill the
+  lanes.
+* **parallelization** — consecutive outermost ``parallel`` loops distribute
+  work over cores, subject to load balance, a minimum useful task size and a
+  launch overhead.  On the GPU profile the machine is extremely wide and
+  unparallelized programs are heavily penalized.
+* **unrolling / loop overhead** — every executed loop iteration pays a small
+  control cost unless the loop is unrolled (explicitly or through the
+  ``auto_unroll_max_step`` pragma) or vectorized.
+* **fusion and cache staging** — attached (compute_at) stages inherit their
+  ancestors' loops as an outer context, which shrinks their per-execution
+  footprint; cache-write stages accumulate into a small buffer and write the
+  final output once, contiguously.
+
+The returned time is deterministic.  The measurement harness
+(:mod:`repro.hardware.measurer`) adds small, seeded noise on top to emulate
+run-to-run variance of a real machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..codegen.lowering import BufferAccess, LoweredProgram, StageNest, lower_state
+from ..ir.loop import Iterator
+from ..ir.state import State
+from .platform import HardwareParams
+
+__all__ = ["NestCost", "ProgramCost", "CostSimulator"]
+
+
+@dataclass
+class NestCost:
+    """Cost breakdown of one stage nest."""
+
+    name: str
+    compute_time: float
+    memory_time: float
+    overhead_time: float
+    parallel_factor: float
+    vector_speedup: float
+    flops: float
+    traffic_bytes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        # Compute, memory traffic and loop control largely overlap on an
+        # out-of-order core / GPU; the slowest resource limits throughput.
+        return max(self.compute_time, self.memory_time, self.overhead_time)
+
+
+@dataclass
+class ProgramCost:
+    """Cost breakdown of a full program."""
+
+    nests: List[NestCost]
+    launch_overhead: float
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(n.total for n in self.nests) + self.launch_overhead
+
+    @property
+    def total_flops(self) -> float:
+        return sum(n.flops for n in self.nests)
+
+    @property
+    def gflops(self) -> float:
+        seconds = self.total_seconds
+        if seconds <= 0:
+            return 0.0
+        return self.total_flops / seconds / 1e9
+
+
+def _axis_range(axis: str, loops: Sequence[Iterator]) -> int:
+    """Span of one original axis covered by a set of loops."""
+    span = 1
+    for loop in loops:
+        stride = loop.axis_strides.get(axis, 0)
+        if stride:
+            span += abs(stride) * (loop.extent - 1)
+    return span
+
+
+def _access_footprint_bytes(access: BufferAccess, loops: Sequence[Iterator]) -> float:
+    """Approximate distinct bytes of ``access`` touched by the given loops."""
+    elements = 1.0
+    for dim_idx, coeffs in enumerate(access.dim_coeffs):
+        covered = 1
+        for axis, coeff in coeffs.items():
+            covered += abs(coeff) * (_axis_range(axis, loops) - 1)
+        elements *= min(covered, access.shape[dim_idx])
+    return elements * access.dtype_bytes
+
+
+def _loop_affects_access(loop: Iterator, access: BufferAccess) -> bool:
+    """True when iterating ``loop`` changes which elements ``access`` touches."""
+    for coeffs in access.dim_coeffs:
+        for axis in coeffs:
+            if loop.axis_strides.get(axis, 0) != 0:
+                return True
+    return False
+
+
+def _access_stride_elements(access: BufferAccess, loop: Iterator) -> int:
+    """Stride in buffer elements of one step of ``loop`` for ``access``."""
+    strides = access.element_strides()
+    total = 0
+    for axis, factor in loop.axis_strides.items():
+        total += factor * strides.get(axis, 0)
+    return total
+
+
+class CostSimulator:
+    """Estimate the execution time of a program on a hardware model."""
+
+    #: a lower bound on any measured program, modelling launch / framework overhead
+    MIN_PROGRAM_TIME = 2e-6
+
+    def __init__(self, hardware: HardwareParams):
+        self.hardware = hardware
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def estimate(self, state: State) -> float:
+        """Estimated execution time of a complete program state, in seconds."""
+        return self.estimate_detailed(state).total_seconds
+
+    def estimate_detailed(self, state: State) -> ProgramCost:
+        program = lower_state(state)
+        return self.estimate_lowered(program)
+
+    def estimate_lowered(self, program: LoweredProgram) -> ProgramCost:
+        nests = [self._nest_cost(nest) for nest in program.all_nests()]
+        return ProgramCost(nests=nests, launch_overhead=self.MIN_PROGRAM_TIME)
+
+    def throughput(self, state: State) -> float:
+        """FLOP/s achieved by the program (higher is better)."""
+        cost = self.estimate_detailed(state)
+        return cost.total_flops / cost.total_seconds
+
+    # ------------------------------------------------------------------
+    # Per-nest analysis
+    # ------------------------------------------------------------------
+    def _nest_cost(self, nest: StageNest) -> NestCost:
+        hw = self.hardware
+        full_loops = list(nest.outer_context) + list(nest.loops)
+        total_iters = nest.total_iterations()
+        flops = nest.flops_per_iter * total_iters
+
+        parallel_factor, launch_overhead = self._parallel_factor(nest, full_loops, flops)
+        vector_speedup = self._vector_speedup(nest)
+
+        compute_time = flops / (
+            hw.peak_scalar_flops_per_core() * vector_speedup * parallel_factor
+        )
+        memory_time, traffic = self._memory_time(nest, full_loops, parallel_factor)
+        overhead_time = self._loop_overhead(nest, parallel_factor) + launch_overhead
+
+        return NestCost(
+            name=nest.name,
+            compute_time=compute_time,
+            memory_time=memory_time,
+            overhead_time=overhead_time,
+            parallel_factor=parallel_factor,
+            vector_speedup=vector_speedup,
+            flops=flops,
+            traffic_bytes=traffic,
+        )
+
+    # -- parallelism ------------------------------------------------------
+    def _parallel_factor(
+        self, nest: StageNest, full_loops: Sequence[Iterator], flops: float
+    ) -> Tuple[float, float]:
+        hw = self.hardware
+        parallel_iters = 1
+        first_parallel = None
+        for idx, loop in enumerate(full_loops):
+            if loop.annotation == "parallel":
+                if first_parallel is None:
+                    first_parallel = idx
+                parallel_iters *= loop.extent
+            elif first_parallel is not None:
+                break
+            elif loop.annotation != "parallel" and loop.extent > 1 and first_parallel is None:
+                # A serial loop with extent > 1 before any parallel loop means
+                # the parallel region (if any deeper) is launched repeatedly;
+                # we still allow deeper parallel loops but they stop the scan
+                # above, so simply continue scanning until we find one.
+                continue
+
+        if first_parallel is None or parallel_iters <= 1:
+            if hw.kind == "gpu":
+                # An unparallelized kernel uses one SM and no warps.
+                return 1.0, 0.0
+            return 1.0, 0.0
+
+        used_cores = min(hw.num_cores, parallel_iters)
+        # Load imbalance: the slowest core does ceil(iters / cores) chunks.
+        chunks_per_core = math.ceil(parallel_iters / used_cores)
+        load_balance = parallel_iters / (chunks_per_core * used_cores)
+        # Tasks that are too small spend their time in scheduling overhead.
+        work_per_core = flops / used_cores if used_cores else flops
+        granularity = work_per_core / (work_per_core + hw.min_parallel_task_flops)
+        factor = max(1.0, used_cores * load_balance * granularity)
+
+        # How many times the parallel region is launched: product of serial
+        # loops outside the first parallel loop.  If the parallel loop belongs
+        # to an ancestor stage (it is part of the outer context), the launch is
+        # already accounted for by that ancestor.
+        if first_parallel < len(nest.outer_context):
+            return factor, 0.0
+        launches = 1
+        for loop in full_loops[:first_parallel]:
+            launches *= loop.extent
+        launch_overhead = hw.parallel_launch_overhead_sec * launches
+        return factor, launch_overhead
+
+    # -- vectorization ----------------------------------------------------
+    def _vector_speedup(self, nest: StageNest) -> float:
+        hw = self.hardware
+        if not nest.loops:
+            return 1.0
+        inner = nest.loops[-1]
+        if inner.annotation != "vectorize":
+            # GPUs still execute warps, but an uncoalesced / unannotated inner
+            # loop wastes most lanes.
+            return 1.0 if hw.kind == "cpu" else 2.0
+        lanes = min(inner.extent, hw.vector_lanes)
+        if lanes <= 1:
+            return 1.0
+        reads = nest.reads()
+        if reads:
+            contiguous = 0
+            for access in reads:
+                stride = abs(_access_stride_elements(access, inner))
+                if stride <= 1:
+                    contiguous += 1
+            contig_fraction = contiguous / len(reads)
+        else:
+            contig_fraction = 1.0
+        fill = 1.0
+        if inner.extent % hw.vector_lanes != 0 and inner.extent > hw.vector_lanes:
+            fill = 0.85
+        speedup = 1.0 + (lanes - 1) * (0.2 + 0.8 * contig_fraction) * fill
+        return speedup
+
+    # -- memory hierarchy --------------------------------------------------
+    def _memory_time(
+        self, nest: StageNest, full_loops: Sequence[Iterator], parallel_factor: float
+    ) -> Tuple[float, Dict[str, float]]:
+        hw = self.hardware
+        accesses = nest.accesses
+        if not accesses:
+            return 0.0, {}
+
+        # Precompute per-access footprints for every loop suffix.
+        n_loops = len(full_loops)
+        suffix_footprints: List[List[float]] = []  # [suffix_start][access]
+        for start in range(n_loops + 1):
+            suffix = full_loops[start:]
+            suffix_footprints.append([_access_footprint_bytes(a, suffix) for a in accesses])
+
+        combined = [sum(per_access) for per_access in suffix_footprints]
+
+        time_total = 0.0
+        traffic_report: Dict[str, float] = {}
+        levels = list(hw.cache_levels)
+        for level_idx, level in enumerate(levels):
+            # Find the outermost suffix start whose working set fits.
+            fit_start = n_loops
+            for start in range(n_loops + 1):
+                if combined[start] <= level.capacity_bytes:
+                    fit_start = start
+                    break
+            traffic = 0.0
+            for acc_idx, access in enumerate(accesses):
+                prefix_trips = 1
+                for loop in full_loops[:fit_start]:
+                    prefix_trips *= loop.extent
+                footprint = suffix_footprints[fit_start][acc_idx]
+                compulsory = suffix_footprints[0][acc_idx]
+                total_bytes = prefix_trips * footprint
+                # Never less than touching the data once, never more than one
+                # access per iteration.
+                max_bytes = nest.total_iterations() * access.dtype_bytes
+                traffic += min(max(total_bytes, compulsory), max_bytes + compulsory)
+            # Traffic at this boundary is served by the *next* level.
+            if level_idx + 1 < len(levels):
+                provider_bw = levels[level_idx + 1].bandwidth_bytes_per_sec
+                provider_shared = levels[level_idx + 1].shared
+            else:
+                provider_bw = hw.dram_bandwidth_bytes_per_sec
+                provider_shared = True
+            if provider_shared:
+                scale = min(parallel_factor, hw.dram_parallel_scaling)
+            else:
+                scale = parallel_factor
+            time_total += traffic / (provider_bw * max(scale, 1.0))
+            traffic_report[f"beyond_{level.name}"] = traffic
+        return time_total, traffic_report
+
+    # -- loop control overhead ---------------------------------------------
+    def _loop_overhead(self, nest: StageNest, parallel_factor: float) -> float:
+        hw = self.hardware
+        stage = nest.stage
+        overhead_iters = 0.0
+        exec_count = nest.execution_count()
+        trip = 1
+        # Work out which inner loops are effectively unrolled by the pragma:
+        # the innermost loops whose combined trip count stays below the limit.
+        unrolled_inner = set()
+        if stage.auto_unroll_max_step > 0:
+            inner_trip = 1
+            for idx in range(len(nest.loops) - 1, -1, -1):
+                inner_trip *= nest.loops[idx].extent
+                if inner_trip <= stage.auto_unroll_max_step:
+                    unrolled_inner.add(idx)
+                else:
+                    break
+        for idx, loop in enumerate(nest.loops):
+            trip *= loop.extent
+            if loop.annotation == "unroll" or idx in unrolled_inner:
+                continue
+            iterations = trip * exec_count
+            if loop.annotation == "vectorize":
+                iterations /= max(1, min(loop.extent, hw.vector_lanes))
+            overhead_iters += iterations
+        return overhead_iters * hw.loop_overhead_sec / max(parallel_factor, 1.0)

@@ -1,0 +1,40 @@
+"""Loop-nest IR: stages, iterators, transform steps and program states."""
+
+from .loop import ANNOTATIONS, ComputeLocation, Iterator, Stage
+from .state import State
+from .steps import (
+    AnnotationStep,
+    CacheWriteStep,
+    ComputeAtStep,
+    ComputeInlineStep,
+    ComputeRootStep,
+    FuseStep,
+    PragmaStep,
+    ReorderStep,
+    RfactorStep,
+    SplitStep,
+    Step,
+    step_from_dict,
+)
+from .printer import print_state
+
+__all__ = [
+    "ANNOTATIONS",
+    "ComputeLocation",
+    "Iterator",
+    "Stage",
+    "State",
+    "Step",
+    "SplitStep",
+    "FuseStep",
+    "ReorderStep",
+    "AnnotationStep",
+    "PragmaStep",
+    "ComputeAtStep",
+    "ComputeInlineStep",
+    "ComputeRootStep",
+    "CacheWriteStep",
+    "RfactorStep",
+    "step_from_dict",
+    "print_state",
+]

@@ -1,0 +1,76 @@
+"""Pretty printer producing Figure-5 style pseudo code for a program state.
+
+Example output for a matmul + relu program::
+
+    parallel i.0@j.0 in range(256):
+      for k.0 in range(32):
+        for i.1 in range(16):
+          vectorize j.1 in range(16):
+            C[...] += A[...] * B[...]
+      for i.2 in range(64):
+        vectorize j.2 in range(16):
+          D[...] = max(C[...], 0.0)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..codegen.lowering import StageNest
+
+__all__ = ["print_state", "print_nest"]
+
+_ANNOTATION_KEYWORD = {
+    "none": "for",
+    "parallel": "parallel",
+    "vectorize": "vectorize",
+    "unroll": "unroll",
+}
+
+
+def _statement_for(nest: "StageNest") -> str:
+    stage = nest.stage
+    op = stage.op
+    reduce_like = any(loop.is_reduce() for loop in nest.loops)
+    if getattr(op, "tag", "") == "cache_copy":
+        return f"{stage.name}[...] = {stage.name}.cache[...]"
+    reads = [a.buffer for a in nest.reads()]
+    rhs = " * ".join(f"{name}[...]" for name in reads) if reads else "..."
+    if reduce_like:
+        return f"{stage.name}[...] += {rhs}"
+    return f"{stage.name}[...] = f({rhs})"
+
+
+def print_nest(nest: "StageNest", indent: int = 0) -> List[str]:
+    lines: List[str] = []
+
+    def emit(loop_idx: int, depth: int) -> None:
+        if loop_idx == len(nest.loops):
+            lines.append("  " * depth + _statement_for(nest))
+            return
+        loop = nest.loops[loop_idx]
+        keyword = _ANNOTATION_KEYWORD[loop.annotation]
+        lines.append("  " * depth + f"{keyword} {loop.name} in range({loop.extent}):")
+        emit(loop_idx + 1, depth + 1)
+        # Stages attached at this loop execute after the body of this
+        # iteration (their data is produced by the inner loops just printed).
+        for child in nest.children.get(loop_idx, []):
+            lines.extend(print_nest(child, depth + 1))
+
+    emit(0, indent)
+    return lines
+
+
+def print_state(state) -> str:
+    """Render the whole program of a state as indented pseudo code."""
+    from ..codegen.lowering import lower_state
+
+    program = lower_state(state)
+    lines: List[str] = []
+    for root in program.roots:
+        lines.extend(print_nest(root, 0))
+    inlined = [s.name for s in state.stages if s.is_inlined()]
+    if inlined:
+        lines.append(f"# inlined: {', '.join(inlined)}")
+    return "\n".join(lines)

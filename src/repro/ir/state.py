@@ -1,0 +1,224 @@
+"""The program state: a loop-nest schedule plus its rewriting history.
+
+A :class:`State` corresponds to one tensor program (complete) or one sketch
+(incomplete — some split lengths are still placeholders).  It is always the
+result of applying its ``transform_steps`` to the initial naive program of
+its :class:`~repro.te.dag.ComputeDAG`, so a state can be reconstructed from
+``(dag, transform_steps)`` alone; that is what the tuning-log records store
+and what node-based crossover recombines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..te.dag import ComputeDAG
+from ..te.operation import ComputeOp, PlaceholderOp
+from .loop import ComputeLocation, Iterator, Stage
+from .steps import (
+    AnnotationStep,
+    CacheWriteStep,
+    ComputeAtStep,
+    ComputeInlineStep,
+    ComputeRootStep,
+    FuseStep,
+    PragmaStep,
+    ReorderStep,
+    RfactorStep,
+    SplitStep,
+    Step,
+)
+
+__all__ = ["State"]
+
+
+class State:
+    """A (possibly partial) tensor program for a computation DAG."""
+
+    def __init__(self, dag: ComputeDAG, stages: List[Stage], transform_steps: Optional[List[Step]] = None):
+        self.dag = dag
+        self.stages = stages
+        self.transform_steps: List[Step] = list(transform_steps or [])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dag(cls, dag: ComputeDAG) -> "State":
+        """The initial naive program: one stage per op, one loop per axis."""
+        stages = [Stage.from_op(op) for op in dag.ops]
+        return cls(dag, stages)
+
+    def copy(self) -> "State":
+        new = State(self.dag, [s.copy() for s in self.stages], list(self.transform_steps))
+        return new
+
+    @classmethod
+    def from_steps(cls, dag: ComputeDAG, steps: Sequence[Step]) -> "State":
+        """Replay a recorded step list onto a fresh initial state."""
+        state = cls.from_dag(dag)
+        for step in steps:
+            state.apply_step(step)
+        return state
+
+    # ------------------------------------------------------------------
+    # Stage lookup and relations
+    # ------------------------------------------------------------------
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r}")
+
+    def has_stage(self, name: str) -> bool:
+        return any(stage.name == name for stage in self.stages)
+
+    def stage_index(self, name: str) -> int:
+        for idx, stage in enumerate(self.stages):
+            if stage.name == name:
+                return idx
+        raise KeyError(f"no stage named {name!r}")
+
+    def compute_stages(self) -> List[Stage]:
+        return [s for s in self.stages if not s.is_placeholder()]
+
+    def stage_producers(self, name: str) -> List[Stage]:
+        """Stages whose output the given stage reads."""
+        stage = self.stage(name)
+        if not isinstance(stage.op, ComputeOp):
+            return []
+        producers = []
+        for tensor in stage.op.input_tensors:
+            if self.has_stage(tensor.name):
+                producers.append(self.stage(tensor.name))
+        return producers
+
+    def stage_consumers(self, name: str) -> List[Stage]:
+        """Stages that read the output of the given stage."""
+        consumers = []
+        for stage in self.stages:
+            if stage.name == name or not isinstance(stage.op, ComputeOp):
+                continue
+            if any(t.name == name for t in stage.op.input_tensors):
+                consumers.append(stage)
+        return consumers
+
+    def is_output_stage(self, name: str) -> bool:
+        """True when the stage writes a DAG output buffer."""
+        return any(out.name == name for out in self.dag.outputs)
+
+    # ------------------------------------------------------------------
+    # Step application
+    # ------------------------------------------------------------------
+    def apply_step(self, step: Step) -> "State":
+        step.apply_to(self)
+        self.transform_steps.append(step)
+        return self
+
+    # Internal helpers used by steps --------------------------------------
+    def shift_attached_iters(self, stage_name: str, first_index: int, delta: int) -> None:
+        """Adjust compute_at anchors of other stages after iterators of
+        ``stage_name`` were inserted (positive delta) or removed (negative)."""
+        if delta == 0:
+            return
+        for stage in self.stages:
+            loc = stage.compute_location
+            if loc.kind != ComputeLocation.AT or loc.target_stage != stage_name:
+                continue
+            if delta > 0:
+                if loc.target_iter > first_index:
+                    loc.target_iter += delta
+            else:
+                removed = -delta
+                if first_index < loc.target_iter <= first_index + removed:
+                    loc.target_iter = first_index
+                elif loc.target_iter > first_index + removed:
+                    loc.target_iter += delta
+
+    def remap_attached_iters(self, stage_name: str, mapping: Callable[[int], int]) -> None:
+        """Remap compute_at anchors of other stages through ``mapping``."""
+        for stage in self.stages:
+            loc = stage.compute_location
+            if loc.kind == ComputeLocation.AT and loc.target_stage == stage_name:
+                loc.target_iter = mapping(loc.target_iter)
+
+    # ------------------------------------------------------------------
+    # Schedule primitives (each records and applies one step)
+    # ------------------------------------------------------------------
+    def split(self, stage_name: str, iter_id: int, lengths: Sequence[Optional[int]]) -> "State":
+        return self.apply_step(SplitStep(stage_name, iter_id, lengths))
+
+    def fuse(self, stage_name: str, iter_ids: Sequence[int]) -> "State":
+        return self.apply_step(FuseStep(stage_name, iter_ids))
+
+    def reorder(self, stage_name: str, order: Sequence[int]) -> "State":
+        return self.apply_step(ReorderStep(stage_name, order))
+
+    def parallel(self, stage_name: str, iter_id: int) -> "State":
+        return self.apply_step(AnnotationStep(stage_name, iter_id, "parallel"))
+
+    def vectorize(self, stage_name: str, iter_id: int) -> "State":
+        return self.apply_step(AnnotationStep(stage_name, iter_id, "vectorize"))
+
+    def unroll(self, stage_name: str, iter_id: int) -> "State":
+        return self.apply_step(AnnotationStep(stage_name, iter_id, "unroll"))
+
+    def pragma(self, stage_name: str, pragma: str, value: int) -> "State":
+        return self.apply_step(PragmaStep(stage_name, pragma, value))
+
+    def compute_at(self, stage_name: str, target_stage: str, target_iter: int) -> "State":
+        return self.apply_step(ComputeAtStep(stage_name, target_stage, target_iter))
+
+    def compute_inline(self, stage_name: str) -> "State":
+        return self.apply_step(ComputeInlineStep(stage_name))
+
+    def compute_root(self, stage_name: str) -> "State":
+        return self.apply_step(ComputeRootStep(stage_name))
+
+    def cache_write(self, stage_name: str) -> "State":
+        return self.apply_step(CacheWriteStep(stage_name))
+
+    def rfactor(self, stage_name: str, iter_id: int) -> "State":
+        return self.apply_step(RfactorStep(stage_name, iter_id))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    def is_concrete(self) -> bool:
+        """True when no split step still carries a placeholder length."""
+        for step in self.transform_steps:
+            if isinstance(step, SplitStep) and step.is_placeholder:
+                return False
+        return True
+
+    def placeholder_splits(self) -> List[SplitStep]:
+        return [s for s in self.transform_steps if isinstance(s, SplitStep) and s.is_placeholder]
+
+    def steps_for_stage(self, stage_name: str) -> List[Step]:
+        """Steps whose primary target stage derives from ``stage_name``.
+
+        Cache / rfactor stages derived from an op (``"X.cache"``, ``"X.rf"``)
+        are grouped with the op itself; this is the node granularity used by
+        crossover (§5.1).
+        """
+        result = []
+        for step in self.transform_steps:
+            target = getattr(step, "stage_name", None)
+            if target is None:
+                continue
+            base = target.split(".")[0]
+            if base == stage_name.split(".")[0]:
+                result.append(step)
+        return result
+
+    def serialize_steps(self) -> List[dict]:
+        return [step.to_dict() for step in self.transform_steps]
+
+    # ------------------------------------------------------------------
+    def print_program(self) -> str:
+        from .printer import print_state
+
+        return print_state(self)
+
+    def __repr__(self) -> str:
+        return f"State(stages={[s.name for s in self.stages]}, steps={len(self.transform_steps)})"

@@ -1,0 +1,135 @@
+"""Tuning-log records: JSON-lines serialization of measured programs.
+
+Like the reference implementation, every measurement can be appended to a
+log file so tuning can be resumed or the best schedule re-applied later
+without re-searching.  A record stores the workload key, the target name,
+the program's full transform-step history, and the measured costs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .hardware.measurer import MeasureInput, MeasureResult
+from .ir.state import State
+from .ir.steps import step_from_dict
+from .task import SearchTask
+
+__all__ = ["TuningRecord", "save_records", "load_records", "best_record", "apply_history_best"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class TuningRecord:
+    """One measured program."""
+
+    workload_key: str
+    target: str
+    steps: List[dict]
+    costs: List[float]
+    error: Optional[str] = None
+    timestamp: float = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_measurement(cls, inp: MeasureInput, res: MeasureResult) -> "TuningRecord":
+        return cls(
+            workload_key=inp.task.workload_key,
+            target=inp.task.hardware_params.name,
+            steps=inp.state.serialize_steps(),
+            costs=list(res.costs),
+            error=res.error,
+            timestamp=res.timestamp or time.time(),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "workload_key": self.workload_key,
+                "target": self.target,
+                "steps": self.steps,
+                "costs": self.costs,
+                "error": self.error,
+                "timestamp": self.timestamp,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TuningRecord":
+        data = json.loads(line)
+        return cls(
+            workload_key=data["workload_key"],
+            target=data["target"],
+            steps=data["steps"],
+            costs=data["costs"],
+            error=data.get("error"),
+            timestamp=data.get("timestamp", 0.0),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def valid(self) -> bool:
+        return self.error is None and len(self.costs) > 0
+
+    @property
+    def best_cost(self) -> float:
+        if not self.valid:
+            return float("inf")
+        return min(self.costs)
+
+    def to_state(self, task: SearchTask) -> State:
+        """Rebuild the program on a task's DAG by replaying the steps."""
+        steps = [step_from_dict(d) for d in self.steps]
+        return State.from_steps(task.compute_dag, steps)
+
+
+def save_records(
+    path: PathLike,
+    inputs: Sequence[MeasureInput],
+    results: Sequence[MeasureResult],
+    append: bool = True,
+) -> None:
+    """Append measurement records to a JSON-lines log file."""
+    mode = "a" if append else "w"
+    with open(path, mode) as f:
+        for inp, res in zip(inputs, results):
+            f.write(TuningRecord.from_measurement(inp, res).to_json() + "\n")
+
+
+def load_records(path: PathLike) -> List[TuningRecord]:
+    """Load all records from a log file (silently skipping corrupt lines)."""
+    records: List[TuningRecord] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(TuningRecord.from_json(line))
+            except (json.JSONDecodeError, KeyError):
+                continue
+    return records
+
+
+def best_record(path: PathLike, workload_key: str) -> Optional[TuningRecord]:
+    """The fastest valid record of a workload, or ``None``."""
+    best: Optional[TuningRecord] = None
+    for record in load_records(path):
+        if record.workload_key != workload_key or not record.valid:
+            continue
+        if best is None or record.best_cost < best.best_cost:
+            best = record
+    return best
+
+
+def apply_history_best(task: SearchTask, path: PathLike) -> Optional[State]:
+    """Rebuild the best logged program for a task (the deployment path)."""
+    record = best_record(path, task.workload_key)
+    if record is None:
+        return None
+    return record.to_state(task)

@@ -1,0 +1,20 @@
+"""Task scheduler: allocating tuning time across subgraphs (§6)."""
+
+from .objectives import (
+    EarlyStoppingLatency,
+    GeomeanSpeedup,
+    LatencyRequirement,
+    Objective,
+    WeightedSumLatency,
+)
+from .task_scheduler import TaskScheduler, TaskSchedulerRecord
+
+__all__ = [
+    "Objective",
+    "WeightedSumLatency",
+    "LatencyRequirement",
+    "GeomeanSpeedup",
+    "EarlyStoppingLatency",
+    "TaskScheduler",
+    "TaskSchedulerRecord",
+]

@@ -1,0 +1,182 @@
+"""Objective functions for multi-task tuning (§6.1, Table 2).
+
+All objectives are functions of the per-task best latencies ``g_i(t)``; the
+task scheduler minimizes them by gradient descent.  Implemented objectives:
+
+* :class:`WeightedSumLatency` (``f1``) — total latency of all DNNs, each
+  subgraph weighted by how many times it appears.
+* :class:`LatencyRequirement` (``f2``) — stop caring about a DNN once its
+  latency requirement is met.
+* :class:`GeomeanSpeedup` (``f3``) — maximize the geometric mean of the
+  speedups over reference latencies.
+* :class:`EarlyStoppingLatency` (``f4``) — per-task early stopping once a
+  task stops improving.
+
+Objectives expose both ``value(latencies)`` and the partial derivative
+``derivative(latencies, i)`` (∂f/∂g_i) needed by the scheduler's gradient
+approximation (Appendix A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Objective",
+    "WeightedSumLatency",
+    "LatencyRequirement",
+    "GeomeanSpeedup",
+    "EarlyStoppingLatency",
+]
+
+
+class Objective:
+    """Base class of task-scheduler objective functions."""
+
+    def __init__(self, task_weights: Sequence[float], task_to_dnn: Optional[Sequence[int]] = None):
+        #: w_i: number of appearances of task i in its DNN
+        self.task_weights = list(task_weights)
+        #: which DNN each task belongs to (all zero for a single DNN)
+        self.task_to_dnn = list(task_to_dnn) if task_to_dnn is not None else [0] * len(task_weights)
+        self.num_dnns = max(self.task_to_dnn) + 1 if self.task_to_dnn else 1
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_weights)
+
+    def dnn_latency(self, latencies: Sequence[float], dnn: int) -> float:
+        """Approximate end-to-end latency of one DNN: sum of w_i * g_i."""
+        total = 0.0
+        for i, (w, g) in enumerate(zip(self.task_weights, latencies)):
+            if self.task_to_dnn[i] == dnn and math.isfinite(g):
+                total += w * g
+        return total
+
+    def value(self, latencies: Sequence[float]) -> float:
+        raise NotImplementedError
+
+    def derivative(self, latencies: Sequence[float], task_index: int) -> float:
+        """∂f/∂g_i evaluated at the current latencies."""
+        raise NotImplementedError
+
+
+class WeightedSumLatency(Objective):
+    """f1 = sum_j sum_{i in S(j)} w_i * g_i(t): total latency of all DNNs."""
+
+    def value(self, latencies: Sequence[float]) -> float:
+        return sum(self.dnn_latency(latencies, j) for j in range(self.num_dnns))
+
+    def derivative(self, latencies: Sequence[float], task_index: int) -> float:
+        return self.task_weights[task_index]
+
+
+class LatencyRequirement(Objective):
+    """f2 = sum_j max(DNN latency, L_j): don't spend time below the requirement."""
+
+    def __init__(
+        self,
+        task_weights: Sequence[float],
+        task_to_dnn: Sequence[int],
+        requirements: Sequence[float],
+    ):
+        super().__init__(task_weights, task_to_dnn)
+        if len(requirements) != self.num_dnns:
+            raise ValueError("one latency requirement per DNN is required")
+        self.requirements = list(requirements)
+
+    def value(self, latencies: Sequence[float]) -> float:
+        total = 0.0
+        for j in range(self.num_dnns):
+            total += max(self.dnn_latency(latencies, j), self.requirements[j])
+        return total
+
+    def derivative(self, latencies: Sequence[float], task_index: int) -> float:
+        dnn = self.task_to_dnn[task_index]
+        if self.dnn_latency(latencies, dnn) <= self.requirements[dnn]:
+            return 0.0
+        return self.task_weights[task_index]
+
+
+class GeomeanSpeedup(Objective):
+    """f3 = -(prod_j B_j / latency_j)^(1/m): maximize geometric-mean speedup."""
+
+    def __init__(
+        self,
+        task_weights: Sequence[float],
+        task_to_dnn: Sequence[int],
+        reference_latencies: Sequence[float],
+    ):
+        super().__init__(task_weights, task_to_dnn)
+        if len(reference_latencies) != self.num_dnns:
+            raise ValueError("one reference latency per DNN is required")
+        self.reference_latencies = list(reference_latencies)
+
+    def value(self, latencies: Sequence[float]) -> float:
+        product = 1.0
+        for j in range(self.num_dnns):
+            latency = self.dnn_latency(latencies, j)
+            if latency <= 0:
+                return float("-inf")
+            product *= self.reference_latencies[j] / latency
+        return -(product ** (1.0 / self.num_dnns))
+
+    def derivative(self, latencies: Sequence[float], task_index: int) -> float:
+        dnn = self.task_to_dnn[task_index]
+        latency = self.dnn_latency(latencies, dnn)
+        if latency <= 0:
+            return 0.0
+        # d/dg_i of -(prod_j B_j/L_j)^(1/m) with L_dnn = sum w_i g_i:
+        #   = value * (1/m) * (-1/L_dnn) * w_i * (-1)  ... sign worked out below
+        value = self.value(latencies)
+        return -value * (1.0 / self.num_dnns) * self.task_weights[task_index] / latency
+
+
+class EarlyStoppingLatency(Objective):
+    """f4 = sum_j sum_i w_i * max(g_i, ES(g_i, t)): per-task early stopping.
+
+    ``ES(g_i, t)`` looks at the history of task i's latency; once a task has
+    not improved for ``patience`` allocations, the max() freezes its
+    contribution, making the gradient for that task zero.
+    """
+
+    def __init__(
+        self,
+        task_weights: Sequence[float],
+        task_to_dnn: Optional[Sequence[int]] = None,
+        patience: int = 5,
+        improvement_threshold: float = 0.995,
+    ):
+        super().__init__(task_weights, task_to_dnn)
+        self.patience = patience
+        self.improvement_threshold = improvement_threshold
+        self._best: List[float] = [float("inf")] * self.num_tasks
+        self._stale_rounds: List[int] = [0] * self.num_tasks
+
+    def observe(self, task_index: int, latency: float) -> None:
+        """Record the latest latency of a task (called by the scheduler)."""
+        if latency < self._best[task_index] * self.improvement_threshold:
+            self._best[task_index] = latency
+            self._stale_rounds[task_index] = 0
+        else:
+            self._stale_rounds[task_index] += 1
+
+    def early_stopped(self, task_index: int) -> bool:
+        return self._stale_rounds[task_index] >= self.patience
+
+    def value(self, latencies: Sequence[float]) -> float:
+        total = 0.0
+        for i, (w, g) in enumerate(zip(self.task_weights, latencies)):
+            if not math.isfinite(g):
+                continue
+            floor = self._best[i] if self.early_stopped(i) else 0.0
+            total += w * max(g, floor)
+        return total
+
+    def derivative(self, latencies: Sequence[float], task_index: int) -> float:
+        if self.early_stopped(task_index):
+            return 0.0
+        return self.task_weights[task_index]

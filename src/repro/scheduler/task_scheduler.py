@@ -1,0 +1,227 @@
+"""Gradient-descent based task scheduler (§6, Appendix A).
+
+The scheduler allocates measurement rounds ("units of time resources") to
+the tasks (subgraphs) of one or more DNNs.  At every iteration it estimates
+the gradient of the objective with respect to each task's allocation and
+gives the next round to the task with the largest expected improvement,
+with ε-greedy exploration and a round-robin warm-up.
+
+The gradient follows the approximation of Appendix A::
+
+    df/dt_i ≈ df/dg_i * ( alpha * (g_i(t_i) - g_i(t_i - dt)) / dt
+             + (1 - alpha) * min(-g_i(t_i)/t_i,
+                                 beta * C_i / max_{k in N(i)} V_k - g_i(t_i)) )
+
+where ``C_i`` is the FLOP count of task i and ``V_k`` the FLOP/s already
+achieved on a similar task k.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cost_model.model import CostModel, LearnedCostModel
+from ..hardware.measurer import ProgramMeasurer
+from ..ir.state import State
+from ..search.policy import SearchPolicy
+from ..search.sketch_policy import SketchPolicy
+from ..task import SearchTask
+from .objectives import EarlyStoppingLatency, Objective, WeightedSumLatency
+
+__all__ = ["TaskScheduler", "TaskSchedulerRecord"]
+
+PolicyFactory = Callable[[SearchTask, CostModel, int], SearchPolicy]
+
+
+@dataclass
+class TaskSchedulerRecord:
+    """One point of the tuning curve."""
+
+    total_trials: int
+    objective_value: float
+    best_costs: List[float]
+    selected_task: int
+
+
+class TaskScheduler:
+    """Allocate measurement rounds to tasks to minimize an objective."""
+
+    def __init__(
+        self,
+        tasks: Sequence[SearchTask],
+        task_weights: Optional[Sequence[float]] = None,
+        task_to_dnn: Optional[Sequence[int]] = None,
+        objective: Optional[Objective] = None,
+        policy_factory: Optional[PolicyFactory] = None,
+        strategy: str = "gradient",
+        alpha: float = 0.2,
+        beta: float = 2.0,
+        backward_window: int = 3,
+        eps_greedy: float = 0.05,
+        seed: int = 0,
+        verbose: int = 0,
+    ):
+        if strategy not in ("gradient", "round_robin"):
+            raise ValueError(f"unknown scheduling strategy {strategy!r}")
+        self.tasks = list(tasks)
+        n = len(self.tasks)
+        if n == 0:
+            raise ValueError("TaskScheduler needs at least one task")
+        self.task_weights = list(task_weights) if task_weights is not None else [1.0] * n
+        self.task_to_dnn = list(task_to_dnn) if task_to_dnn is not None else [0] * n
+        self.objective = objective or WeightedSumLatency(self.task_weights, self.task_to_dnn)
+        self.strategy = strategy
+        self.alpha = alpha
+        self.beta = beta
+        self.backward_window = backward_window
+        self.eps_greedy = eps_greedy
+        self.verbose = verbose
+        self.rng = np.random.default_rng(seed)
+
+        # One cost model shared by all tasks (§5.2: "A single model is trained
+        # for all tensor programs coming from all DAGs").
+        self.cost_model: CostModel = LearnedCostModel(seed=seed)
+        if policy_factory is None:
+            policy_factory = lambda task, model, s: SketchPolicy(task, cost_model=model, seed=s)
+        self.policies: List[SearchPolicy] = [
+            policy_factory(task, self.cost_model, seed + idx) for idx, task in enumerate(self.tasks)
+        ]
+
+        #: rounds allocated per task (t_i)
+        self.allocations: List[int] = [0] * n
+        #: best latency per task (g_i), infinity before the first measurement
+        self.best_costs: List[float] = [float("inf")] * n
+        #: per-task history of best latency after each allocated round
+        self.latency_history: List[List[float]] = [[] for _ in range(n)]
+        #: tuning curve
+        self.records: List[TaskSchedulerRecord] = []
+        self.total_trials = 0
+
+    # ------------------------------------------------------------------
+    # Task similarity (the N(i) set of Appendix A)
+    # ------------------------------------------------------------------
+    def _task_signature(self, task: SearchTask) -> Tuple:
+        heavy_tags = tuple(
+            sorted(op.tag or op.name.split("_")[0] for op in task.compute_dag.compute_ops if op.has_reduction())
+        )
+        return (len(task.compute_dag.compute_ops), heavy_tags)
+
+    def similar_tasks(self, index: int) -> List[int]:
+        signature = self._task_signature(self.tasks[index])
+        similar = [
+            i
+            for i, task in enumerate(self.tasks)
+            if self._task_signature(task) == signature
+        ]
+        return similar or [index]
+
+    # ------------------------------------------------------------------
+    # Gradient approximation (Appendix A)
+    # ------------------------------------------------------------------
+    def _gradient(self, index: int) -> float:
+        t_i = self.allocations[index]
+        g_i = self.best_costs[index]
+        if t_i == 0 or not math.isfinite(g_i):
+            # Never-tuned tasks get the most negative gradient so the warm-up
+            # visits everyone first.
+            return -float("inf")
+        df_dg = self.objective.derivative(self.best_costs, index)
+
+        # Backward term: observed improvement over the last dt allocations.
+        history = self.latency_history[index]
+        dt = min(self.backward_window, len(history) - 1)
+        if dt > 0:
+            backward = (history[-1] - history[-1 - dt]) / dt
+        else:
+            backward = 0.0
+
+        # Forward term: optimistic guess and similarity-based guess.
+        optimistic = -g_i / t_i
+        c_i = self.tasks[index].flop_count()
+        best_speed = 0.0
+        for k in self.similar_tasks(index):
+            g_k = self.best_costs[k]
+            if math.isfinite(g_k) and g_k > 0:
+                best_speed = max(best_speed, self.tasks[k].flop_count() / g_k)
+        if best_speed > 0:
+            similarity_guess = self.beta * c_i / best_speed - g_i
+        else:
+            similarity_guess = optimistic
+        forward = min(optimistic, similarity_guess)
+
+        gradient = df_dg * (self.alpha * backward + (1 - self.alpha) * forward)
+        return min(gradient, 0.0)
+
+    def _select_task(self) -> int:
+        if self.strategy == "round_robin":
+            return int(np.argmin(self.allocations))
+        # Warm-up: allocate one round to every task first.
+        for i, t in enumerate(self.allocations):
+            if t == 0:
+                return i
+        if self.rng.random() < self.eps_greedy:
+            return int(self.rng.integers(0, len(self.tasks)))
+        gradients = np.array([self._gradient(i) for i in range(len(self.tasks))])
+        return int(np.argmin(gradients))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        num_measure_trials: int,
+        num_measures_per_round: int = 16,
+        measurer: Optional[ProgramMeasurer] = None,
+    ) -> List[float]:
+        """Distribute ``num_measure_trials`` over the tasks; returns the final
+        best latency per task."""
+        measurer = measurer or ProgramMeasurer(self.tasks[0].hardware_params)
+        while self.total_trials < num_measure_trials:
+            index = self._select_task()
+            policy = self.policies[index]
+            budget = min(num_measures_per_round, num_measure_trials - self.total_trials)
+            inputs, results = policy.continue_search_one_round(budget, measurer)
+            consumed = len(inputs)
+            if consumed == 0:
+                # The policy could not produce new candidates; avoid an
+                # infinite loop by charging one trial.
+                consumed = 1
+            self.total_trials += consumed
+            self.allocations[index] += 1
+            self.best_costs[index] = policy.best_cost
+            self.latency_history[index].append(policy.best_cost)
+            if isinstance(self.objective, EarlyStoppingLatency):
+                self.objective.observe(index, policy.best_cost)
+            value = self.objective_value()
+            self.records.append(
+                TaskSchedulerRecord(
+                    total_trials=self.total_trials,
+                    objective_value=value,
+                    best_costs=list(self.best_costs),
+                    selected_task=index,
+                )
+            )
+            if self.verbose:
+                print(
+                    f"[TaskScheduler] trials={self.total_trials} task={index} "
+                    f"({self.tasks[index].desc}) objective={value:.4e}"
+                )
+        return list(self.best_costs)
+
+    # ------------------------------------------------------------------
+    def objective_value(self) -> float:
+        finite = [c if math.isfinite(c) else 1.0 for c in self.best_costs]
+        return self.objective.value(finite)
+
+    def dnn_latency(self, dnn: int = 0) -> float:
+        """End-to-end latency estimate of one DNN (sum of weighted task latencies)."""
+        return self.objective.dnn_latency(
+            [c if math.isfinite(c) else 0.0 for c in self.best_costs], dnn
+        )
+
+    def best_states(self) -> List[Optional[State]]:
+        return [policy.best_state for policy in self.policies]

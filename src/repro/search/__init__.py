@@ -1,0 +1,81 @@
+"""Search: sketch generation, random annotation, evolutionary fine-tuning."""
+
+from .annotation import (
+    annotate_state,
+    fill_tile_sizes,
+    random_factor_split,
+    sample_complete_program,
+    sample_initial_population,
+)
+from .baselines import (
+    BeamSearchPolicy,
+    LibraryBaseline,
+    expert_schedule,
+    limited_space_policy,
+    random_search_policy,
+)
+from .evolutionary import EvolutionarySearch
+from .mutation import (
+    MUTATION_OPERATORS,
+    mutate_auto_unroll,
+    mutate_compute_location,
+    mutate_parallel_degree,
+    mutate_tile_size,
+    node_based_crossover,
+    random_mutation,
+)
+from .policy import SearchPolicy
+from .sketch import generate_sketches
+from .sketch_policy import SketchPolicy
+from .sketch_rules import (
+    RuleAddCacheStage,
+    RuleAddRfactor,
+    RuleAlwaysInline,
+    RuleMultiLevelTiling,
+    RuleMultiLevelTilingWithFusion,
+    RuleSkip,
+    SketchContext,
+    SketchRule,
+    default_sketch_rules,
+    register_sketch_rule,
+    registered_sketch_rules,
+)
+from .space import FULL_SPACE, LIMITED_SPACE, SearchSpaceOptions
+
+__all__ = [
+    "generate_sketches",
+    "SketchPolicy",
+    "SearchPolicy",
+    "EvolutionarySearch",
+    "SearchSpaceOptions",
+    "FULL_SPACE",
+    "LIMITED_SPACE",
+    "SketchRule",
+    "SketchContext",
+    "RuleSkip",
+    "RuleAlwaysInline",
+    "RuleMultiLevelTiling",
+    "RuleMultiLevelTilingWithFusion",
+    "RuleAddCacheStage",
+    "RuleAddRfactor",
+    "default_sketch_rules",
+    "register_sketch_rule",
+    "registered_sketch_rules",
+    "annotate_state",
+    "fill_tile_sizes",
+    "random_factor_split",
+    "sample_complete_program",
+    "sample_initial_population",
+    "random_mutation",
+    "mutate_tile_size",
+    "mutate_auto_unroll",
+    "mutate_parallel_degree",
+    "mutate_compute_location",
+    "node_based_crossover",
+    "MUTATION_OPERATORS",
+    "BeamSearchPolicy",
+    "LibraryBaseline",
+    "expert_schedule",
+    "random_search_policy",
+    "limited_space_policy",
+]

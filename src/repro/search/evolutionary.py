@@ -1,0 +1,154 @@
+"""Evolutionary search guided by the learned cost model (§5.1).
+
+The evolution starts from an initial population (freshly sampled programs
+plus good programs from previous measurements).  Each generation selects
+parents with probability proportional to their predicted fitness and applies
+mutation or node-based crossover to produce offspring.  After a fixed number
+of generations the best programs found during the whole search (by predicted
+score) are returned for measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cost_model.model import CostModel
+from ..ir.state import State
+from ..task import SearchTask
+from .mutation import node_based_crossover, random_mutation
+from .space import FULL_SPACE, SearchSpaceOptions
+
+__all__ = ["EvolutionarySearch"]
+
+
+def _state_key(state: State) -> str:
+    return repr(state.serialize_steps())
+
+
+@dataclass
+class EvolutionOptions:
+    population_size: int = 64
+    num_generations: int = 4
+    mutation_prob: float = 0.85
+    elite_fraction: float = 0.1
+
+
+class EvolutionarySearch:
+    """Fine-tune a population of programs with mutation and crossover."""
+
+    def __init__(
+        self,
+        task: SearchTask,
+        cost_model: CostModel,
+        space: SearchSpaceOptions = FULL_SPACE,
+        population_size: int = 64,
+        num_generations: int = 4,
+        mutation_prob: float = 0.85,
+        seed: int = 0,
+    ):
+        self.task = task
+        self.cost_model = cost_model
+        self.space = space
+        self.options = EvolutionOptions(
+            population_size=population_size,
+            num_generations=num_generations,
+            mutation_prob=mutation_prob,
+        )
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _node_scores(self, state: State) -> Dict[str, float]:
+        """Per-DAG-node scores used by crossover to pick the better parent."""
+        try:
+            stage_scores = self.cost_model.predict_stages(self.task, state)
+        except Exception:
+            stage_scores = np.zeros(1)
+        from ..codegen.lowering import lower_state
+
+        scores: Dict[str, float] = {}
+        try:
+            nests = lower_state(state).all_nests()
+        except Exception:
+            return scores
+        for idx, nest in enumerate(nests):
+            node = nest.name.split(".")[0]
+            value = float(stage_scores[idx]) if idx < len(stage_scores) else 0.0
+            scores[node] = scores.get(node, 0.0) + value
+        return scores
+
+    def _select_parent(self, population: List[State], probabilities: np.ndarray) -> State:
+        idx = int(self.rng.choice(len(population), p=probabilities))
+        return population[idx]
+
+    # ------------------------------------------------------------------
+    def search(self, initial_population: Sequence[State], num_best: int) -> List[State]:
+        """Run the evolution and return the best ``num_best`` distinct states,
+        ranked by predicted score (best first)."""
+        population = [s for s in initial_population]
+        if not population:
+            return []
+        options = self.options
+
+        # Best-so-far across all generations, keyed by serialized steps.
+        hall_of_fame: Dict[str, Tuple[float, State]] = {}
+
+        for _ in range(options.num_generations):
+            scores = np.asarray(self.cost_model.predict(self.task, population), dtype=np.float64)
+            for state, score in zip(population, scores):
+                key = _state_key(state)
+                if key not in hall_of_fame or score > hall_of_fame[key][0]:
+                    hall_of_fame[key] = (float(score), state)
+
+            # Selection probabilities proportional to fitness.
+            shifted = scores - scores.min()
+            if shifted.sum() <= 0:
+                probabilities = np.full(len(population), 1.0 / len(population))
+            else:
+                probabilities = shifted / shifted.sum()
+
+            elite_count = max(1, int(options.elite_fraction * options.population_size))
+            elite_idx = np.argsort(-scores)[:elite_count]
+            next_population: List[State] = [population[i] for i in elite_idx]
+            seen = {_state_key(s) for s in next_population}
+
+            attempts = 0
+            max_attempts = options.population_size * 8
+            while len(next_population) < options.population_size and attempts < max_attempts:
+                attempts += 1
+                if self.rng.random() < options.mutation_prob or len(population) < 2:
+                    parent = self._select_parent(population, probabilities)
+                    child = random_mutation(parent, self.rng, self.space)
+                else:
+                    parent_a = self._select_parent(population, probabilities)
+                    parent_b = self._select_parent(population, probabilities)
+                    if parent_a is parent_b:
+                        child = random_mutation(parent_a, self.rng, self.space)
+                    else:
+                        child = node_based_crossover(
+                            parent_a,
+                            parent_b,
+                            self._node_scores(parent_a),
+                            self._node_scores(parent_b),
+                            self.rng,
+                        )
+                if child is None:
+                    continue
+                key = _state_key(child)
+                if key in seen:
+                    continue
+                seen.add(key)
+                next_population.append(child)
+            population = next_population
+
+        # Score the final generation too.
+        scores = np.asarray(self.cost_model.predict(self.task, population), dtype=np.float64)
+        for state, score in zip(population, scores):
+            key = _state_key(state)
+            if key not in hall_of_fame or score > hall_of_fame[key][0]:
+                hall_of_fame[key] = (float(score), state)
+
+        ranked = sorted(hall_of_fame.values(), key=lambda pair: -pair[0])
+        return [state for _, state in ranked[:num_best]]

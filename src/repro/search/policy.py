@@ -1,0 +1,95 @@
+"""Search policy interface shared by Ansor and the baseline strategies.
+
+A search policy optimizes one :class:`~repro.task.SearchTask`.  Policies are
+driven either standalone (through :meth:`SearchPolicy.tune`) or by the task
+scheduler (§6), which repeatedly asks for "one more round" of measurements
+via :meth:`SearchPolicy.continue_search_one_round`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+from ..ir.state import State
+from ..task import SearchTask, TuningOptions
+
+__all__ = ["SearchPolicy"]
+
+
+class SearchPolicy:
+    """Base class of search policies."""
+
+    def __init__(self, task: SearchTask, seed: int = 0, verbose: int = 0):
+        self.task = task
+        self.seed = seed
+        self.verbose = verbose
+        self.rng = np.random.default_rng(seed)
+        #: best program found so far
+        self.best_state: Optional[State] = None
+        #: best measured cost (seconds)
+        self.best_cost: float = float("inf")
+        #: number of measurement trials consumed by this policy
+        self.num_trials: int = 0
+        #: (trial_count, best_cost) after every round — used for tuning curves
+        self.history: List[Tuple[int, float]] = []
+
+    # ------------------------------------------------------------------
+    def continue_search_one_round(
+        self, num_measures: int, measurer: ProgramMeasurer
+    ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
+        """Generate, measure and learn from one batch of candidate programs."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _record_results(
+        self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]
+    ) -> None:
+        for inp, res in zip(inputs, results):
+            self.num_trials += 1
+            if res.valid and res.min_cost < self.best_cost:
+                self.best_cost = res.min_cost
+                self.best_state = inp.state
+        self.history.append((self.num_trials, self.best_cost))
+
+    def best_throughput(self) -> float:
+        """Best achieved throughput in FLOP/s (0 when nothing measured yet)."""
+        if not np.isfinite(self.best_cost) or self.best_cost <= 0:
+            return 0.0
+        return self.task.flop_count() / self.best_cost
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        options: Optional[TuningOptions] = None,
+        measurer: Optional[ProgramMeasurer] = None,
+    ) -> Optional[State]:
+        """Run a full standalone tuning session on this task."""
+        options = options or TuningOptions()
+        measurer = measurer or ProgramMeasurer(self.task.hardware_params, seed=self.seed)
+        rounds_without_improvement = 0
+        last_best = self.best_cost
+        while self.num_trials < options.num_measure_trials:
+            budget = min(
+                options.num_measures_per_round,
+                options.num_measure_trials - self.num_trials,
+            )
+            inputs, results = self.continue_search_one_round(budget, measurer)
+            if not inputs:
+                break
+            if options.verbose:
+                print(
+                    f"[{type(self).__name__}] trials={self.num_trials} "
+                    f"best={self.best_cost:.3e}s"
+                )
+            if self.best_cost < last_best:
+                last_best = self.best_cost
+                rounds_without_improvement = 0
+            else:
+                rounds_without_improvement += 1
+            if options.early_stopping and rounds_without_improvement >= options.early_stopping:
+                break
+        return self.best_state

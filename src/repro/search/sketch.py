@@ -1,0 +1,84 @@
+"""Sketch generation: derivation-based enumeration (§4.1).
+
+Starting from the initial naive program and the last (output) node, every
+applicable derivation rule is applied recursively.  A state becomes terminal
+when the working-node index reaches zero; the sketches are the programs of
+all terminal states (de-duplicated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.state import State
+from ..task import SearchTask
+from .space import FULL_SPACE, SearchSpaceOptions
+from .sketch_rules import SketchContext, SketchRule, default_sketch_rules
+
+__all__ = ["generate_sketches"]
+
+# Safety bound: derivation is expected to produce a handful of sketches per
+# subgraph; this guards against pathological user-defined rules.
+_MAX_STATES = 2048
+
+
+def generate_sketches(
+    task: SearchTask,
+    rules: Optional[Sequence[SketchRule]] = None,
+    options: SearchSpaceOptions = FULL_SPACE,
+) -> List[State]:
+    """Enumerate all sketches of a task's computation DAG.
+
+    Returns a list of states whose split steps carry placeholder tile sizes;
+    the random annotation pass (§4.2) turns them into complete programs.
+    """
+    dag = task.compute_dag
+    ctx = SketchContext(dag=dag, options=options)
+    rule_list = list(rules) if rules is not None else default_sketch_rules()
+
+    initial = dag.init_state()
+    queue: List[Tuple[State, int]] = [(initial, len(dag.ops))]
+    terminals: List[State] = []
+    expanded = 0
+
+    while queue:
+        state, node_index = queue.pop()
+        if node_index == 0:
+            terminals.append(state)
+            continue
+        expanded += 1
+        if expanded > _MAX_STATES:
+            raise RuntimeError(
+                "sketch generation expanded too many states; check user-defined rules"
+            )
+        applied = False
+        for rule in rule_list:
+            try:
+                if not rule.condition(state, node_index, ctx):
+                    continue
+                successors = rule.apply(state, node_index, ctx)
+            except Exception:
+                # A misbehaving (user) rule should not abort the enumeration.
+                continue
+            for new_state, new_index in successors:
+                # The working-node index must not increase (§4.1).
+                queue.append((new_state, min(new_index, node_index)))
+            applied = True
+        if not applied:
+            # Should not happen with the default rules (rules 1 and 2 are
+            # mutually exclusive and always one applies); be safe anyway.
+            queue.append((state, node_index - 1))
+
+    return _dedup(terminals)
+
+
+def _dedup(states: List[State]) -> List[State]:
+    seen = set()
+    unique: List[State] = []
+    for state in states:
+        key = repr(state.serialize_steps())
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(state)
+    return unique

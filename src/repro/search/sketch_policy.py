@@ -1,0 +1,162 @@
+"""The Ansor search policy: program sampling + evolutionary fine-tuning.
+
+This is the main loop described in §3–§5 of the paper.  Each round:
+
+1. sample a batch of fresh complete programs from the hierarchical search
+   space (sketch generation + random annotation),
+2. mix them with the best measured programs of earlier rounds to form the
+   initial population,
+3. run evolutionary search guided by the learned cost model,
+4. pick the most promising (and a few random, ε-greedy) candidates,
+5. measure them on the hardware, and
+6. re-train the cost model with the new measurements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
+from ..hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+from ..ir.state import State
+from ..task import SearchTask
+from .annotation import sample_initial_population
+from .evolutionary import EvolutionarySearch
+from .policy import SearchPolicy
+from .sketch import generate_sketches
+from .sketch_rules import SketchRule
+from .space import FULL_SPACE, SearchSpaceOptions
+
+__all__ = ["SketchPolicy"]
+
+
+def _state_key(state: State) -> str:
+    return repr(state.serialize_steps())
+
+
+class SketchPolicy(SearchPolicy):
+    """Ansor's sketch-based search policy."""
+
+    def __init__(
+        self,
+        task: SearchTask,
+        cost_model: Optional[CostModel] = None,
+        space: SearchSpaceOptions = FULL_SPACE,
+        rules: Optional[Sequence[SketchRule]] = None,
+        population_size: int = 64,
+        num_generations: int = 4,
+        sample_init_population: int = 64,
+        eps_greedy: float = 0.05,
+        use_evolutionary_search: bool = True,
+        retained_best: int = 12,
+        seed: int = 0,
+        verbose: int = 0,
+    ):
+        super().__init__(task, seed=seed, verbose=verbose)
+        self.cost_model = cost_model if cost_model is not None else LearnedCostModel(seed=seed)
+        self.space = space
+        self.rules = rules
+        self.population_size = population_size
+        self.num_generations = num_generations
+        self.sample_init_population = sample_init_population
+        self.eps_greedy = eps_greedy
+        self.use_evolutionary_search = use_evolutionary_search
+        self.retained_best = retained_best
+        self._sketches: Optional[List[State]] = None
+        self._measured_keys: set = set()
+        #: (cost, state) of the best measured programs, kept for seeding evolution
+        self._best_measured: List[Tuple[float, State]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def sketches(self) -> List[State]:
+        """The generated sketches of this task (computed lazily, cached)."""
+        if self._sketches is None:
+            self._sketches = generate_sketches(self.task, rules=self.rules, options=self.space)
+            if self.verbose:
+                print(f"[SketchPolicy] generated {len(self._sketches)} sketches")
+        return self._sketches
+
+    # ------------------------------------------------------------------
+    def sample_population(self, count: int) -> List[State]:
+        """Sample fresh complete programs from the search space."""
+        return sample_initial_population(self.task, self.sketches, count, self.rng, self.space)
+
+    def _initial_population(self) -> List[State]:
+        population = self.sample_population(self.sample_init_population)
+        for _, state in self._best_measured[: self.retained_best]:
+            population.append(state)
+        return population
+
+    def _pick_candidates(
+        self, ranked: List[State], population: List[State], num_measures: int
+    ) -> List[State]:
+        """ε-greedy candidate selection: mostly the evolution's best unmeasured
+        programs, a few random ones from the population for exploration."""
+        n_random = int(round(self.eps_greedy * num_measures))
+        n_best = num_measures - n_random
+        picked: List[State] = []
+        seen = set()
+        for state in ranked:
+            if len(picked) >= n_best:
+                break
+            key = _state_key(state)
+            if key in self._measured_keys or key in seen:
+                continue
+            seen.add(key)
+            picked.append(state)
+        pool = [s for s in population if _state_key(s) not in self._measured_keys]
+        self.rng.shuffle(pool)
+        for state in pool:
+            if len(picked) >= num_measures:
+                break
+            key = _state_key(state)
+            if key in seen:
+                continue
+            seen.add(key)
+            picked.append(state)
+        return picked[:num_measures]
+
+    # ------------------------------------------------------------------
+    def continue_search_one_round(
+        self, num_measures: int, measurer: ProgramMeasurer
+    ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
+        population = self._initial_population()
+        if not population:
+            return [], []
+
+        if self.use_evolutionary_search:
+            evolution = EvolutionarySearch(
+                self.task,
+                self.cost_model,
+                space=self.space,
+                population_size=self.population_size,
+                num_generations=self.num_generations,
+                seed=int(self.rng.integers(0, 2**31 - 1)),
+            )
+            ranked = evolution.search(population, num_best=max(num_measures * 2, 16))
+        else:
+            # "No fine-tuning" ablation: rely on random sampling only.
+            ranked = list(population)
+            self.rng.shuffle(ranked)
+
+        candidates = self._pick_candidates(ranked, population, num_measures)
+        if not candidates:
+            return [], []
+
+        inputs = [MeasureInput(self.task, state) for state in candidates]
+        results = measurer.measure(inputs)
+
+        # Book-keeping: best programs, measured-set, cost model update.
+        for inp, res in zip(inputs, results):
+            self._measured_keys.add(_state_key(inp.state))
+            if res.valid:
+                self._best_measured.append((res.min_cost, inp.state))
+        self._best_measured.sort(key=lambda pair: pair[0])
+        self._best_measured = self._best_measured[: self.retained_best * 4]
+
+        self.cost_model.update(inputs, results)
+        self._record_results(inputs, results)
+        return inputs, results

@@ -1,0 +1,62 @@
+"""Search-space options.
+
+The ablations in §7 ("Limited space", Figure 7 and Figure 10) restrict the
+search space to resemble the space covered by manual templates.  The options
+here control which derivation rules and annotation freedoms are available,
+so the same :class:`~repro.search.sketch_policy.SketchPolicy` machinery can
+run both the full Ansor space and the restricted baseline spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["SearchSpaceOptions", "FULL_SPACE", "LIMITED_SPACE"]
+
+
+@dataclass(frozen=True)
+class SearchSpaceOptions:
+    """Flags describing which parts of the search space are enabled."""
+
+    #: number of tile levels for spatial axes (4 = the "SSRSRS" structure)
+    spatial_tile_levels: int = 4
+    #: number of tile levels for reduction axes (2 = the "SSRSRS" structure)
+    reduction_tile_levels: int = 2
+    #: allow adding a cache-write stage (Table 1, rule 5)
+    enable_cache_write: bool = True
+    #: allow reduction factorization (Table 1, rule 6)
+    enable_rfactor: bool = True
+    #: allow fusing elementwise consumers into tiled producers (rule 4)
+    enable_fusion: bool = True
+    #: allow the plain multi-level-tiling rule in addition to the fused one
+    enable_plain_tiling: bool = True
+    #: allow randomly changing the computation location of simple ops (§4.2)
+    enable_compute_location_change: bool = True
+    #: candidate values for the auto_unroll_max_step pragma
+    auto_unroll_candidates: Tuple[int, ...] = (0, 16, 64, 512)
+    #: largest allowed innermost tile length
+    max_innermost_split_factor: int = 64
+    #: allow the vectorize annotation
+    enable_vectorize: bool = True
+    #: allow the parallel annotation
+    enable_parallel: bool = True
+
+
+#: The full Ansor search space.
+FULL_SPACE = SearchSpaceOptions()
+
+#: A space comparable to manual templates (AutoTVM / FlexTensor): two-level
+#: tiling knobs only, no cache stage, no rfactor, fixed unrolling policy and
+#: no computation-location changes (§7.1 discussion of baseline limitations).
+LIMITED_SPACE = SearchSpaceOptions(
+    spatial_tile_levels=4,
+    reduction_tile_levels=2,
+    enable_cache_write=False,
+    enable_rfactor=False,
+    enable_fusion=True,
+    enable_plain_tiling=True,
+    enable_compute_location_change=False,
+    auto_unroll_candidates=(0, 16),
+    max_innermost_split_factor=32,
+)

@@ -1,0 +1,58 @@
+"""Search tasks: the unit of work the auto-scheduler optimizes.
+
+A :class:`SearchTask` bundles a computation DAG (one subgraph extracted from
+a DNN) with the hardware it should be optimized for.  The task scheduler
+(§6) distributes measurement trials across many tasks; each search policy
+(§4, §5) optimizes one task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .hardware.platform import HardwareParams, intel_cpu
+from .te.dag import ComputeDAG
+
+__all__ = ["SearchTask", "TuningOptions"]
+
+
+class SearchTask:
+    """One tuning task: a computation DAG on a hardware target."""
+
+    def __init__(
+        self,
+        compute_dag: ComputeDAG,
+        hardware_params: Optional[HardwareParams] = None,
+        desc: str = "",
+    ):
+        self.compute_dag = compute_dag
+        self.hardware_params = hardware_params or intel_cpu()
+        self.desc = desc or compute_dag.pretty_print().splitlines()[-1][:60]
+
+    @property
+    def workload_key(self) -> str:
+        """Stable identifier combining the computation and the target."""
+        return f"{self.compute_dag.workload_key()}@{self.hardware_params.name}"
+
+    def flop_count(self) -> int:
+        return self.compute_dag.flop_count()
+
+    def __repr__(self) -> str:
+        return f"SearchTask({self.desc!r}, target={self.hardware_params.name})"
+
+
+@dataclass
+class TuningOptions:
+    """Options controlling one tuning run (mirrors the paper's setup in §7)."""
+
+    #: total number of measurement trials
+    num_measure_trials: int = 64
+    #: how many programs are measured per search round
+    num_measures_per_round: int = 16
+    #: early stop if the best program has not improved for this many rounds
+    early_stopping: Optional[int] = None
+    #: verbosity (0 = silent)
+    verbose: int = 0
+    #: random seed for the search
+    seed: int = 0

@@ -1,0 +1,139 @@
+"""Static analysis predicates used by the sketch derivation rules (Table 1).
+
+The predicates run on the computation definitions (not on partially
+scheduled programs) exactly as described in §4.1 of the paper:
+
+* :func:`is_strict_inlinable` — simple element-wise op that can always be
+  inlined (element-wise add, ReLU, ...).
+* :func:`has_data_reuse` — compute-intensive op with plentiful data reuse
+  (matmul, conv2d, ...).
+* :func:`has_fusible_consumer` — the op has exactly one consumer and that
+  consumer can be fused (matmul + bias_add, conv2d + relu, ...).
+* :func:`has_more_reduction_parallel` — little parallelism in space
+  dimensions but ample parallelism in reduction dimensions (2-norm,
+  tall-thin-by-thin matmul).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .dag import ComputeDAG
+from .expr import Reduce, Var, collect_reads, collect_vars
+from .operation import ComputeOp, Operation, PlaceholderOp
+from .tensor import IterVar
+
+__all__ = [
+    "is_strict_inlinable",
+    "has_data_reuse",
+    "has_fusible_consumer",
+    "has_more_reduction_parallel",
+    "needs_rfactor",
+    "access_is_injective",
+    "reuse_ratio",
+]
+
+# An op whose space iteration count is below this threshold is considered to
+# have "little parallelism in space dimensions" (§4.1, rule 6 condition).
+_SMALL_SPATIAL_THRESHOLD = 256
+# Reduction extent above this is considered "ample parallelism opportunity in
+# reduction dimensions".
+_LARGE_REDUCTION_THRESHOLD = 64
+# Data reuse ratio (iteration count / unique elements touched) above which an
+# op counts as compute intensive with data reuse.
+_REUSE_THRESHOLD = 2.0
+
+
+def access_is_injective(op: ComputeOp) -> bool:
+    """True when every input read uses only spatial axis variables directly.
+
+    Element-wise and broadcast style ops read ``B[i, j]`` (or a subset of the
+    output axes); ops with reuse read with reduction variables or with the
+    same variable appearing in several operands (e.g. matmul).
+    """
+    if op.has_reduction():
+        return False
+    axis_vars: Set[Var] = {ax.var for ax in op.axes}
+    for read in collect_reads(op.body):
+        for index in read.indices:
+            for var in collect_vars(index):
+                if var not in axis_vars:
+                    return False
+    return True
+
+
+def is_strict_inlinable(op: Operation) -> bool:
+    """IsStrictInlinable(S, i): a simple element-wise op that can always be inlined."""
+    if not isinstance(op, ComputeOp):
+        return False
+    if op.has_reduction():
+        return False
+    if op.attrs.get("no_inline"):
+        return False
+    return access_is_injective(op)
+
+
+def reuse_ratio(op: ComputeOp) -> float:
+    """Ratio of body evaluations to the number of distinct input elements read.
+
+    A matmul of 512x512x512 evaluates 512^3 bodies while touching only
+    2 * 512^2 input elements — a reuse ratio of 256.  Element-wise ops have a
+    ratio close to 1.
+    """
+    iterations = op.iteration_count()
+    unique = sum(t.size() for t in op.input_tensors)
+    if unique == 0:
+        return 1.0
+    return iterations / unique
+
+
+def has_data_reuse(op: Operation) -> bool:
+    """HasDataReuse(S, i): compute-intensive op with plentiful data reuse."""
+    if not isinstance(op, ComputeOp):
+        return False
+    if not op.has_reduction():
+        return False
+    return reuse_ratio(op) >= _REUSE_THRESHOLD or op.attrs.get("force_tile", False)
+
+
+def has_fusible_consumer(dag: ComputeDAG, op: Operation) -> bool:
+    """HasFusibleConsumer(S, i): exactly one consumer which can be fused into ``op``.
+
+    A consumer is fusible when it is an element-wise (strictly inlinable) op
+    whose output shape matches ``op``'s output shape, e.g. conv2d + relu or
+    matmul + bias_add.
+    """
+    if not isinstance(op, ComputeOp):
+        return False
+    consumers = dag.consumers(op)
+    if len(consumers) != 1:
+        return False
+    consumer = consumers[0]
+    if not isinstance(consumer, ComputeOp):
+        return False
+    if consumer.has_reduction():
+        return False
+    if consumer.output.shape != op.output.shape:
+        return False
+    # The consumer must only combine op's output with element-wise reads.
+    return access_is_injective(consumer)
+
+
+def has_more_reduction_parallel(op: Operation) -> bool:
+    """HasMoreReductionParallel(S, i): tiny spatial extent, big reduction extent."""
+    if not isinstance(op, ComputeOp):
+        return False
+    if not op.has_reduction():
+        return False
+    spatial = 1
+    for ax in op.axes:
+        spatial *= ax.extent
+    reduction = 1
+    for ax in op.reduce_axes:
+        reduction *= ax.extent
+    return spatial <= _SMALL_SPATIAL_THRESHOLD and reduction >= _LARGE_REDUCTION_THRESHOLD
+
+
+def needs_rfactor(op: Operation) -> bool:
+    """Alias kept for readability at rule call sites."""
+    return has_more_reduction_parallel(op)

@@ -1,0 +1,213 @@
+"""Tensors, iteration variables and the ``compute`` declarative front end.
+
+The user-facing API mirrors TVM's tensor expression language used in the
+paper (Figure 1)::
+
+    A = placeholder((512, 512), name="A")
+    B = placeholder((512, 512), name="B")
+    k = reduce_axis(512, name="k")
+    C = compute((512, 512), lambda i, j: sum_expr(A[i, k] * B[k, j], [k]), name="C")
+
+``compute`` builds a :class:`~repro.te.operation.ComputeOp` and returns its
+output :class:`Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from .expr import Expr, Max, Min, Reduce, TensorRead, Var, const
+
+__all__ = [
+    "IterVar",
+    "Tensor",
+    "placeholder",
+    "compute",
+    "reduce_axis",
+    "sum_expr",
+    "max_expr",
+    "min_expr",
+]
+
+
+class IterVar:
+    """An iteration variable: a named axis with an integer extent.
+
+    ``kind`` is ``"spatial"`` for data-parallel axes and ``"reduce"`` for
+    reduction axes.  Arithmetic on an IterVar builds expressions over its
+    underlying :class:`~repro.te.expr.Var`, so computation lambdas can write
+    ``h * stride - padding + rh`` directly.
+    """
+
+    SPATIAL = "spatial"
+    REDUCE = "reduce"
+
+    __slots__ = ("var", "extent", "kind")
+
+    def __init__(self, name: str, extent: int, kind: str = SPATIAL):
+        if kind not in (self.SPATIAL, self.REDUCE):
+            raise ValueError(f"unknown iter var kind {kind!r}")
+        if extent <= 0:
+            raise ValueError(f"iter var {name!r} must have a positive extent, got {extent}")
+        self.var = Var(name)
+        self.extent = int(extent)
+        self.kind = kind
+
+    @property
+    def name(self) -> str:
+        return self.var.name
+
+    def __repr__(self) -> str:
+        return f"IterVar({self.name}, extent={self.extent}, kind={self.kind})"
+
+    # -- arithmetic delegates to the underlying variable -------------------
+    def __add__(self, other):
+        return self.var + other
+
+    def __radd__(self, other):
+        return other + self.var if isinstance(other, Expr) else self.var + other
+
+    def __sub__(self, other):
+        return self.var - other
+
+    def __rsub__(self, other):
+        return (other - self.var) if isinstance(other, Expr) else (const(other) - self.var)
+
+    def __mul__(self, other):
+        return self.var * other
+
+    def __rmul__(self, other):
+        return self.var * other
+
+    def __floordiv__(self, other):
+        return self.var // other
+
+    def __mod__(self, other):
+        return self.var % other
+
+    def __lt__(self, other):
+        return self.var < other
+
+    def __le__(self, other):
+        return self.var <= other
+
+    def __gt__(self, other):
+        return self.var > other
+
+    def __ge__(self, other):
+        return self.var >= other
+
+    def equal(self, other):
+        return self.var.equal(other)
+
+
+class Tensor:
+    """A multi-dimensional tensor produced by an operation.
+
+    Indexing a tensor with expressions produces a :class:`TensorRead` node,
+    which is how computation bodies reference their inputs.
+    """
+
+    __slots__ = ("op", "shape", "dtype", "name")
+
+    def __init__(self, op, shape: Sequence[int], dtype: str = "float32", name: Optional[str] = None):
+        self.op = op
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+        self.name = name if name is not None else op.name
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def size(self) -> int:
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    def __getitem__(self, indices) -> TensorRead:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        if len(indices) != len(self.shape):
+            raise ValueError(
+                f"tensor {self.name!r} has {len(self.shape)} dimensions, got {len(indices)} indices"
+            )
+        resolved = []
+        for index in indices:
+            if isinstance(index, IterVar):
+                resolved.append(index.var)
+            else:
+                resolved.append(const(index) if isinstance(index, (int, float)) else index)
+        return TensorRead(self, resolved)
+
+    def __repr__(self) -> str:
+        return f"Tensor({self.name}, shape={self.shape}, dtype={self.dtype})"
+
+
+_ANON_COUNTERS = {"axis": 0, "reduce": 0, "compute": 0}
+
+
+def _fresh_name(kind: str) -> str:
+    _ANON_COUNTERS[kind] += 1
+    return f"{kind}{_ANON_COUNTERS[kind]}"
+
+
+def reduce_axis(extent: int, name: Optional[str] = None) -> IterVar:
+    """Create a reduction axis of the given extent."""
+    return IterVar(name or _fresh_name("reduce"), extent, IterVar.REDUCE)
+
+
+def sum_expr(value: Expr, axis: Sequence[IterVar]) -> Reduce:
+    """Sum ``value`` over the given reduction axes."""
+    return Reduce("sum", value, axis)
+
+
+def max_expr(value, axis: Optional[Sequence[IterVar]] = None):
+    """Either a reduction max (when ``axis`` is given) or an elementwise max."""
+    if axis is not None:
+        return Reduce("max", value, axis)
+    raise ValueError("max_expr requires reduction axes; use expr_max for elementwise max")
+
+
+def min_expr(value, axis: Optional[Sequence[IterVar]] = None):
+    if axis is not None:
+        return Reduce("min", value, axis)
+    raise ValueError("min_expr requires reduction axes; use expr_min for elementwise min")
+
+
+def placeholder(shape: Sequence[int], dtype: str = "float32", name: Optional[str] = None) -> Tensor:
+    """Declare an input tensor."""
+    from .operation import PlaceholderOp
+
+    name = name or _fresh_name("compute")
+    op = PlaceholderOp(name, shape, dtype)
+    return op.output
+
+
+def compute(
+    shape: Sequence[int],
+    fcompute: Callable[..., Expr],
+    name: Optional[str] = None,
+    tag: str = "",
+    attrs: Optional[dict] = None,
+) -> Tensor:
+    """Declare a computed tensor.
+
+    ``fcompute`` receives one :class:`IterVar` per output dimension and
+    returns the expression computing one output element.  If the expression
+    is a :class:`Reduce`, the reduction axes become the op's reduction axes.
+    """
+    from .operation import ComputeOp
+
+    name = name or _fresh_name("compute")
+    shape = tuple(int(s) for s in shape)
+    axes = [IterVar(f"{name}_{chr(ord('i') + idx)}", extent) for idx, extent in enumerate(shape)]
+    body = fcompute(*axes)
+    if not isinstance(body, Expr):
+        body = const(body)
+    reduce_axes: List[IterVar] = []
+    if isinstance(body, Reduce):
+        reduce_axes = list(body.axis)
+    op = ComputeOp(name, axes, reduce_axes, body, tag=tag, attrs=attrs or {})
+    return op.output

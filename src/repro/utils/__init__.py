@@ -1,0 +1,6 @@
+"""Small shared utilities."""
+
+from .timing import Timer
+from .random import seeded_rng
+
+__all__ = ["Timer", "seeded_rng"]

@@ -1,0 +1,19 @@
+"""Deterministic random number generation helpers."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["seeded_rng"]
+
+
+def seeded_rng(*keys) -> np.random.Generator:
+    """A generator deterministically derived from arbitrary hashable keys.
+
+    Used wherever a reproducible but key-dependent stream is needed (e.g.
+    one independent stream per task in the benchmark harness).
+    """
+    digest = hashlib.sha256("|".join(str(k) for k in keys).encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))

@@ -1,0 +1,309 @@
+"""End-to-end network workloads (§7.3).
+
+Each network is described as the list of unique subgraph tasks the graph
+partitioner would extract from it, together with the number of times each
+subgraph appears (its weight).  The task scheduler consumes exactly this
+information; the original framework graphs are not needed (see DESIGN.md).
+
+Networks: ResNet-50 and MobileNet-V2 (image classification), 3D-ResNet-18
+(action recognition), DCGAN generator (image generation), and BERT-base
+(language understanding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import te
+from ..hardware.platform import HardwareParams, intel_cpu
+from ..task import SearchTask
+from ..te.dag import ComputeDAG
+from .ops import (
+    batch_matmul,
+    conv3d,
+    depthwise_conv2d,
+    matmul,
+    transposed_conv2d,
+)
+from .subgraphs import conv_layer, tbg
+
+__all__ = [
+    "NetworkTask",
+    "NETWORK_NAMES",
+    "get_network_tasks",
+    "extract_tasks",
+    "resnet50_tasks",
+    "mobilenet_v2_tasks",
+    "resnet3d_18_tasks",
+    "dcgan_tasks",
+    "bert_tasks",
+]
+
+NETWORK_NAMES = ("resnet-50", "mobilenet-v2", "resnet3d-18", "dcgan", "bert")
+
+
+@dataclass
+class NetworkTask:
+    """One unique subgraph of a network and how often it appears."""
+
+    desc: str
+    dag: ComputeDAG
+    weight: int = 1
+
+
+def _dense_layer(batch: int, in_features: int, out_features: int) -> ComputeDAG:
+    """Dense layer with bias and ReLU-free epilogue (matmul + bias_add)."""
+    data = te.placeholder((batch, in_features), name="data")
+    weight = te.placeholder((out_features, in_features), name="weight")
+    bias = te.placeholder((out_features,), name="bias")
+    rk = te.reduce_axis(in_features, "rk")
+    dense = te.compute(
+        (batch, out_features),
+        lambda i, j: te.sum_expr(data[i, rk] * weight[j, rk], [rk]),
+        name="dense",
+        tag="dense",
+    )
+    out = te.compute(
+        (batch, out_features),
+        lambda i, j: dense[i, j] + bias[j],
+        name="bias_add",
+        tag="bias_add",
+    )
+    return ComputeDAG([out])
+
+
+# ---------------------------------------------------------------------------
+# ResNet-50
+# ---------------------------------------------------------------------------
+
+# (in_channels, height, width, out_channels, kernel, stride, padding, count)
+_RESNET50_CONVS: List[Tuple[int, int, int, int, int, int, int, int]] = [
+    (3, 224, 224, 64, 7, 2, 3, 1),
+    # stage 1 (56x56)
+    (64, 56, 56, 64, 1, 1, 0, 3),
+    (64, 56, 56, 64, 3, 1, 1, 3),
+    (64, 56, 56, 256, 1, 1, 0, 4),
+    (256, 56, 56, 64, 1, 1, 0, 2),
+    # stage 2 (28x28)
+    (256, 56, 56, 128, 1, 2, 0, 1),
+    (256, 56, 56, 512, 1, 2, 0, 1),
+    (128, 28, 28, 128, 3, 1, 1, 4),
+    (128, 28, 28, 512, 1, 1, 0, 4),
+    (512, 28, 28, 128, 1, 1, 0, 3),
+    # stage 3 (14x14)
+    (512, 28, 28, 256, 1, 2, 0, 1),
+    (512, 28, 28, 1024, 1, 2, 0, 1),
+    (256, 14, 14, 256, 3, 1, 1, 6),
+    (256, 14, 14, 1024, 1, 1, 0, 6),
+    (1024, 14, 14, 256, 1, 1, 0, 5),
+    # stage 4 (7x7)
+    (1024, 14, 14, 512, 1, 2, 0, 1),
+    (1024, 14, 14, 2048, 1, 2, 0, 1),
+    (512, 7, 7, 512, 3, 1, 1, 3),
+    (512, 7, 7, 2048, 1, 1, 0, 3),
+    (2048, 7, 7, 512, 1, 1, 0, 2),
+]
+
+
+def resnet50_tasks(batch: int = 1) -> List[NetworkTask]:
+    tasks = []
+    for ci, h, w, co, k, s, p, count in _RESNET50_CONVS:
+        dag = conv_layer(batch, ci, h, w, co, k, s, p)
+        tasks.append(NetworkTask(f"resnet50 conv {ci}x{h}x{w}->{co} k{k}s{s}", dag, count))
+    tasks.append(NetworkTask("resnet50 fc 2048->1000", _dense_layer(batch, 2048, 1000), 1))
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# MobileNet-V2
+# ---------------------------------------------------------------------------
+
+# Inverted residual blocks: (expand pointwise, depthwise, project pointwise).
+# (in_channels, height, width, expanded_channels, out_channels, stride, count)
+_MOBILENET_V2_BLOCKS: List[Tuple[int, int, int, int, int, int, int]] = [
+    (32, 112, 112, 32, 16, 1, 1),
+    (16, 112, 112, 96, 24, 2, 1),
+    (24, 56, 56, 144, 24, 1, 1),
+    (24, 56, 56, 144, 32, 2, 1),
+    (32, 28, 28, 192, 32, 1, 2),
+    (32, 28, 28, 192, 64, 2, 1),
+    (64, 14, 14, 384, 64, 1, 3),
+    (64, 14, 14, 384, 96, 1, 1),
+    (96, 14, 14, 576, 96, 1, 2),
+    (96, 14, 14, 576, 160, 2, 1),
+    (160, 7, 7, 960, 160, 1, 2),
+    (160, 7, 7, 960, 320, 1, 1),
+]
+
+
+def mobilenet_v2_tasks(batch: int = 1) -> List[NetworkTask]:
+    tasks = [
+        NetworkTask(
+            "mobilenet stem conv 3x224x224->32 k3s2",
+            conv_layer(batch, 3, 224, 224, 32, 3, 2, 1),
+            1,
+        )
+    ]
+    for ci, h, w, expanded, co, stride, count in _MOBILENET_V2_BLOCKS:
+        tasks.append(
+            NetworkTask(
+                f"mobilenet expand {ci}x{h}x{w}->{expanded}",
+                conv_layer(batch, ci, h, w, expanded, 1, 1, 0),
+                count,
+            )
+        )
+        out_h = h // stride
+        tasks.append(
+            NetworkTask(
+                f"mobilenet depthwise {expanded}x{h}x{w} s{stride}",
+                depthwise_conv2d(batch, expanded, h, w, 3, stride, 1),
+                count,
+            )
+        )
+        tasks.append(
+            NetworkTask(
+                f"mobilenet project {expanded}x{out_h}->{co}",
+                conv_layer(batch, expanded, out_h, out_h, co, 1, 1, 0),
+                count,
+            )
+        )
+    tasks.append(
+        NetworkTask("mobilenet head conv 320x7x7->1280", conv_layer(batch, 320, 7, 7, 1280, 1, 1, 0), 1)
+    )
+    tasks.append(NetworkTask("mobilenet fc 1280->1000", _dense_layer(batch, 1280, 1000), 1))
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# 3D-ResNet-18
+# ---------------------------------------------------------------------------
+
+# (in_channels, depth, height, width, out_channels, kernel, stride, count)
+_RESNET3D_CONVS: List[Tuple[int, int, int, int, int, int, int, int]] = [
+    (3, 16, 112, 112, 64, 3, 2, 1),
+    (64, 8, 56, 56, 64, 3, 1, 4),
+    (64, 8, 56, 56, 128, 3, 2, 1),
+    (128, 4, 28, 28, 128, 3, 1, 3),
+    (128, 4, 28, 28, 256, 3, 2, 1),
+    (256, 2, 14, 14, 256, 3, 1, 3),
+    (256, 2, 14, 14, 512, 3, 2, 1),
+    (512, 1, 7, 7, 512, 3, 1, 3),
+]
+
+
+def resnet3d_18_tasks(batch: int = 1) -> List[NetworkTask]:
+    tasks = []
+    for ci, d, h, w, co, k, s, count in _RESNET3D_CONVS:
+        dag = conv3d(batch, ci, d, h, w, co, k, s, 1)
+        tasks.append(NetworkTask(f"3d-resnet conv {ci}x{d}x{h}x{w}->{co} s{s}", dag, count))
+    tasks.append(NetworkTask("3d-resnet fc 512->400", _dense_layer(batch, 512, 400), 1))
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# DCGAN generator
+# ---------------------------------------------------------------------------
+
+# (in_channels, height, width, out_channels, kernel, stride, padding, count)
+_DCGAN_LAYERS: List[Tuple[int, int, int, int, int, int, int, int]] = [
+    (1024, 4, 4, 512, 4, 2, 1, 1),
+    (512, 8, 8, 256, 4, 2, 1, 1),
+    (256, 16, 16, 128, 4, 2, 1, 1),
+    (128, 32, 32, 64, 4, 2, 1, 1),
+    (64, 64, 64, 3, 4, 2, 1, 1),
+]
+
+
+def dcgan_tasks(batch: int = 1) -> List[NetworkTask]:
+    tasks = [
+        NetworkTask("dcgan projection 100->1024x4x4", _dense_layer(batch, 100, 1024 * 16), 1),
+    ]
+    for ci, h, w, co, k, s, p, count in _DCGAN_LAYERS:
+        dag = transposed_conv2d(batch, ci, h, w, co, k, s, p)
+        tasks.append(NetworkTask(f"dcgan transposed conv {ci}x{h}x{w}->{co}", dag, count))
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# BERT (base, sequence length 128)
+# ---------------------------------------------------------------------------
+
+
+def bert_tasks(batch: int = 1, seq_len: int = 128, num_layers: int = 12) -> List[NetworkTask]:
+    hidden = 768
+    heads = 12
+    ffn = 3072
+    tokens = batch * seq_len
+    tasks = [
+        NetworkTask(
+            "bert qkv/output projection 768->768",
+            _dense_layer(tokens, hidden, hidden),
+            4 * num_layers,
+        ),
+        NetworkTask("bert ffn up 768->3072", _dense_layer(tokens, hidden, ffn), num_layers),
+        NetworkTask("bert ffn down 3072->768", _dense_layer(tokens, ffn, hidden), num_layers),
+        NetworkTask(
+            "bert attention scores (TBG)",
+            tbg(batch, seq_len, heads, hidden // heads),
+            num_layers,
+        ),
+        NetworkTask(
+            "bert attention context (batch matmul)",
+            batch_matmul(batch * heads, seq_len, hidden // heads, seq_len),
+            num_layers,
+        ),
+        NetworkTask("bert pooler 768->768", _dense_layer(batch, hidden, hidden), 1),
+    ]
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# Dispatch and task extraction
+# ---------------------------------------------------------------------------
+
+_NETWORKS: Dict[str, Callable[[int], List[NetworkTask]]] = {
+    "resnet-50": resnet50_tasks,
+    "mobilenet-v2": mobilenet_v2_tasks,
+    "resnet3d-18": resnet3d_18_tasks,
+    "dcgan": dcgan_tasks,
+    "bert": bert_tasks,
+}
+
+
+def get_network_tasks(name: str, batch: int = 1) -> List[NetworkTask]:
+    """The unique subgraph tasks (and weights) of one network."""
+    key = name.lower()
+    if key not in _NETWORKS:
+        raise ValueError(f"unknown network {name!r}; known: {NETWORK_NAMES}")
+    return _NETWORKS[key](batch)
+
+
+def extract_tasks(
+    networks: Sequence[str],
+    batch: int = 1,
+    hardware: Optional[HardwareParams] = None,
+    max_tasks_per_network: Optional[int] = None,
+) -> Tuple[List[SearchTask], List[int], List[int]]:
+    """Extract the tuning tasks of one or more networks.
+
+    Returns ``(tasks, weights, task_to_dnn)`` ready for
+    :class:`~repro.scheduler.TaskScheduler`.  ``max_tasks_per_network``
+    optionally keeps only the heaviest (by total FLOPs x weight) subgraphs,
+    which the scaled-down benchmark harness uses.
+    """
+    hardware = hardware or intel_cpu()
+    tasks: List[SearchTask] = []
+    weights: List[int] = []
+    task_to_dnn: List[int] = []
+    for dnn_index, name in enumerate(networks):
+        net_tasks = get_network_tasks(name, batch)
+        if max_tasks_per_network is not None and len(net_tasks) > max_tasks_per_network:
+            net_tasks = sorted(
+                net_tasks, key=lambda t: t.dag.flop_count() * t.weight, reverse=True
+            )[:max_tasks_per_network]
+        for net_task in net_tasks:
+            tasks.append(SearchTask(net_task.dag, hardware, desc=net_task.desc))
+            weights.append(net_task.weight)
+            task_to_dnn.append(dnn_index)
+    return tasks, weights, task_to_dnn

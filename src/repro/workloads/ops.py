@@ -1,0 +1,455 @@
+"""Single-operator workload definitions (§7.1).
+
+The paper's single-operator benchmark covers ten operators:
+
+==========  =====================================================
+short name  operator
+==========  =====================================================
+C1D         1D convolution
+C2D         2D convolution
+C3D         3D convolution
+GMM         matrix multiplication (batched)
+GRP         group convolution (2D)
+DIL         dilated convolution (2D)
+DEP         depth-wise convolution (2D)
+T2D         transposed 2D convolution
+CAP         capsule 2D convolution
+NRM         matrix 2-norm
+==========  =====================================================
+
+Each operator has four shape configurations taken from common DNNs and is
+evaluated with batch sizes 1 and 16 (80 test cases in total).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import te
+from ..te.dag import ComputeDAG
+
+__all__ = [
+    "OP_NAMES",
+    "single_op_shape_configs",
+    "make_op_dag",
+    "matmul",
+    "batch_matmul",
+    "conv1d",
+    "conv2d",
+    "conv3d",
+    "group_conv2d",
+    "dilated_conv2d",
+    "depthwise_conv2d",
+    "transposed_conv2d",
+    "capsule_conv2d",
+    "matrix_norm",
+]
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int, dilation: int = 1) -> int:
+    effective = dilation * (kernel - 1) + 1
+    return (size + 2 * padding - effective) // stride + 1
+
+
+# ---------------------------------------------------------------------------
+# Operator definitions
+# ---------------------------------------------------------------------------
+
+
+def matmul(m: int, n: int, k: int) -> ComputeDAG:
+    """Plain matrix multiplication C[m, n] = A[m, k] x B[k, n]."""
+    A = te.placeholder((m, k), name="A")
+    B = te.placeholder((k, n), name="B")
+    rk = te.reduce_axis(k, "rk")
+    C = te.compute((m, n), lambda i, j: te.sum_expr(A[i, rk] * B[rk, j], [rk]), name="C", tag="matmul")
+    return ComputeDAG([C])
+
+
+def batch_matmul(batch: int, m: int, n: int, k: int) -> ComputeDAG:
+    """Batched matrix multiplication."""
+    A = te.placeholder((batch, m, k), name="A")
+    B = te.placeholder((batch, k, n), name="B")
+    rk = te.reduce_axis(k, "rk")
+    C = te.compute(
+        (batch, m, n),
+        lambda b, i, j: te.sum_expr(A[b, i, rk] * B[b, rk, j], [rk]),
+        name="C",
+        tag="batch_matmul",
+    )
+    return ComputeDAG([C])
+
+
+def conv1d(
+    batch: int, in_channels: int, length: int, out_channels: int, kernel: int, stride: int, padding: int
+) -> ComputeDAG:
+    """1D convolution in NCW layout."""
+    out_l = _conv_out(length, kernel, stride, padding)
+    data = te.placeholder((batch, in_channels, length), name="data")
+    weight = te.placeholder((out_channels, in_channels, kernel), name="weight")
+    rc = te.reduce_axis(in_channels, "rc")
+    rl = te.reduce_axis(kernel, "rl")
+    conv = te.compute(
+        (batch, out_channels, out_l),
+        lambda n, co, l: te.sum_expr(
+            data[n, rc, l * stride - padding + rl] * weight[co, rc, rl], [rc, rl]
+        ),
+        name="conv1d",
+        tag="conv1d",
+    )
+    return ComputeDAG([conv])
+
+
+def conv2d(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    dilation: int = 1,
+) -> ComputeDAG:
+    """2D convolution in NCHW layout (implicit zero padding)."""
+    out_h = _conv_out(height, kernel, stride, padding, dilation)
+    out_w = _conv_out(width, kernel, stride, padding, dilation)
+    data = te.placeholder((batch, in_channels, height, width), name="data")
+    weight = te.placeholder((out_channels, in_channels, kernel, kernel), name="weight")
+    rc = te.reduce_axis(in_channels, "rc")
+    rh = te.reduce_axis(kernel, "rh")
+    rw = te.reduce_axis(kernel, "rw")
+    conv = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, co, h, w: te.sum_expr(
+            data[n, rc, h * stride - padding + rh * dilation, w * stride - padding + rw * dilation]
+            * weight[co, rc, rh, rw],
+            [rc, rh, rw],
+        ),
+        name="conv2d",
+        tag="conv2d",
+    )
+    return ComputeDAG([conv])
+
+
+def conv3d(
+    batch: int,
+    in_channels: int,
+    depth: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> ComputeDAG:
+    """3D convolution in NCDHW layout."""
+    out_d = _conv_out(depth, kernel, stride, padding)
+    out_h = _conv_out(height, kernel, stride, padding)
+    out_w = _conv_out(width, kernel, stride, padding)
+    data = te.placeholder((batch, in_channels, depth, height, width), name="data")
+    weight = te.placeholder((out_channels, in_channels, kernel, kernel, kernel), name="weight")
+    rc = te.reduce_axis(in_channels, "rc")
+    rd = te.reduce_axis(kernel, "rd")
+    rh = te.reduce_axis(kernel, "rh")
+    rw = te.reduce_axis(kernel, "rw")
+    conv = te.compute(
+        (batch, out_channels, out_d, out_h, out_w),
+        lambda n, co, d, h, w: te.sum_expr(
+            data[
+                n,
+                rc,
+                d * stride - padding + rd,
+                h * stride - padding + rh,
+                w * stride - padding + rw,
+            ]
+            * weight[co, rc, rd, rh, rw],
+            [rc, rd, rh, rw],
+        ),
+        name="conv3d",
+        tag="conv3d",
+    )
+    return ComputeDAG([conv])
+
+
+def group_conv2d(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    groups: int,
+) -> ComputeDAG:
+    """Grouped 2D convolution."""
+    out_h = _conv_out(height, kernel, stride, padding)
+    out_w = _conv_out(width, kernel, stride, padding)
+    ci_per_group = in_channels // groups
+    co_per_group = out_channels // groups
+    data = te.placeholder((batch, in_channels, height, width), name="data")
+    weight = te.placeholder((out_channels, ci_per_group, kernel, kernel), name="weight")
+    rc = te.reduce_axis(ci_per_group, "rc")
+    rh = te.reduce_axis(kernel, "rh")
+    rw = te.reduce_axis(kernel, "rw")
+    conv = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, co, h, w: te.sum_expr(
+            data[
+                n,
+                (co // co_per_group) * ci_per_group + rc,
+                h * stride - padding + rh,
+                w * stride - padding + rw,
+            ]
+            * weight[co, rc, rh, rw],
+            [rc, rh, rw],
+        ),
+        name="group_conv2d",
+        tag="group_conv2d",
+    )
+    return ComputeDAG([conv])
+
+
+def dilated_conv2d(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    dilation: int = 2,
+) -> ComputeDAG:
+    """Dilated 2D convolution (conv2d with dilation > 1)."""
+    dag = conv2d(batch, in_channels, height, width, out_channels, kernel, stride, padding, dilation)
+    return dag
+
+
+def depthwise_conv2d(
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> ComputeDAG:
+    """Depth-wise 2D convolution (one filter per channel)."""
+    out_h = _conv_out(height, kernel, stride, padding)
+    out_w = _conv_out(width, kernel, stride, padding)
+    data = te.placeholder((batch, channels, height, width), name="data")
+    weight = te.placeholder((channels, 1, kernel, kernel), name="weight")
+    rh = te.reduce_axis(kernel, "rh")
+    rw = te.reduce_axis(kernel, "rw")
+    conv = te.compute(
+        (batch, channels, out_h, out_w),
+        lambda n, c, h, w: te.sum_expr(
+            data[n, c, h * stride - padding + rh, w * stride - padding + rw] * weight[c, 0, rh, rw],
+            [rh, rw],
+        ),
+        name="depthwise_conv2d",
+        tag="depthwise_conv2d",
+    )
+    return ComputeDAG([conv])
+
+
+def transposed_conv2d(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> ComputeDAG:
+    """Transposed (fractionally strided) 2D convolution.
+
+    The output position reads the input only where the strided index is an
+    integer; the guard is expressed with a Select so the code generator can
+    simplify multiplications by zero (the T2D discussion in §7.1).
+    """
+    out_h = (height - 1) * stride - 2 * padding + kernel
+    out_w = (width - 1) * stride - 2 * padding + kernel
+    data = te.placeholder((batch, in_channels, height, width), name="data")
+    weight = te.placeholder((in_channels, out_channels, kernel, kernel), name="weight")
+    rc = te.reduce_axis(in_channels, "rc")
+    rh = te.reduce_axis(kernel, "rh")
+    rw = te.reduce_axis(kernel, "rw")
+
+    def compute_point(n, co, h, w):
+        src_h = h + padding - rh
+        src_w = w + padding - rw
+        value = data[n, rc, src_h // stride, src_w // stride] * weight[rc, co, rh, rw]
+        guard_h = (src_h % stride).equal(0)
+        guard_w = (src_w % stride).equal(0)
+        guarded = te.Select(guard_h, te.Select(guard_w, value, 0.0), 0.0)
+        return te.sum_expr(guarded, [rc, rh, rw])
+
+    conv = te.compute(
+        (batch, out_channels, out_h, out_w),
+        compute_point,
+        name="transposed_conv2d",
+        tag="transposed_conv2d",
+    )
+    return ComputeDAG([conv])
+
+
+def capsule_conv2d(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    capsule_size: int = 4,
+) -> ComputeDAG:
+    """Capsule 2D convolution: every "pixel" is a capsule_size^2 matrix."""
+    out_h = _conv_out(height, kernel, stride, padding)
+    out_w = _conv_out(width, kernel, stride, padding)
+    data = te.placeholder((batch, in_channels, height, width, capsule_size, capsule_size), name="data")
+    weight = te.placeholder(
+        (out_channels, in_channels, kernel, kernel, capsule_size, capsule_size), name="weight"
+    )
+    rc = te.reduce_axis(in_channels, "rc")
+    rh = te.reduce_axis(kernel, "rh")
+    rw = te.reduce_axis(kernel, "rw")
+    rcap = te.reduce_axis(capsule_size, "rcap")
+    conv = te.compute(
+        (batch, out_channels, out_h, out_w, capsule_size, capsule_size),
+        lambda n, co, h, w, p, q: te.sum_expr(
+            data[n, rc, h * stride - padding + rh, w * stride - padding + rw, p, rcap]
+            * weight[co, rc, rh, rw, rcap, q],
+            [rc, rh, rw, rcap],
+        ),
+        name="capsule_conv2d",
+        tag="capsule_conv2d",
+    )
+    return ComputeDAG([conv])
+
+
+def matrix_norm(batch: int, m: int, n: int) -> ComputeDAG:
+    """Matrix 2-norm (Frobenius): per-matrix sqrt of the sum of squares.
+
+    The reduction stage has tiny spatial extent and a huge reduction extent,
+    which is the motivating case for the rfactor rule (Table 1, rule 6).
+    """
+    A = te.placeholder((batch, m, n), name="A")
+    ri = te.reduce_axis(m, "ri")
+    rj = te.reduce_axis(n, "rj")
+    sq = te.compute(
+        (batch,),
+        lambda b: te.sum_expr(A[b, ri, rj] * A[b, ri, rj], [ri, rj]),
+        name="sumsq",
+        tag="norm_reduce",
+    )
+    norm = te.compute((batch,), lambda b: te.Call("sqrt", [sq[b]]), name="norm", tag="norm")
+    return ComputeDAG([norm])
+
+
+# ---------------------------------------------------------------------------
+# Shape configurations (four per operator, drawn from common DNNs)
+# ---------------------------------------------------------------------------
+
+OP_NAMES = ("C1D", "C2D", "C3D", "GMM", "GRP", "DIL", "DEP", "T2D", "CAP", "NRM")
+
+
+def single_op_shape_configs() -> Dict[str, List[Dict]]:
+    """The four shape configurations of each operator used in §7.1."""
+    return {
+        # (channels, length, kernel, stride, pad) from WaveNet / 1D ResNet style nets
+        "C1D": [
+            dict(in_channels=64, length=256, out_channels=128, kernel=3, stride=2, padding=1),
+            dict(in_channels=128, length=128, out_channels=256, kernel=3, stride=2, padding=1),
+            dict(in_channels=256, length=64, out_channels=256, kernel=3, stride=1, padding=1),
+            dict(in_channels=32, length=512, out_channels=64, kernel=7, stride=2, padding=3),
+        ],
+        # ResNet-50 layers
+        "C2D": [
+            dict(in_channels=64, height=56, width=56, out_channels=64, kernel=3, stride=1, padding=1),
+            dict(in_channels=128, height=28, width=28, out_channels=128, kernel=3, stride=1, padding=1),
+            dict(in_channels=256, height=14, width=14, out_channels=256, kernel=3, stride=1, padding=1),
+            dict(in_channels=512, height=7, width=7, out_channels=512, kernel=3, stride=1, padding=1),
+        ],
+        # 3D-ResNet layers
+        "C3D": [
+            dict(in_channels=16, depth=8, height=28, width=28, out_channels=32, kernel=3, stride=1, padding=1),
+            dict(in_channels=32, depth=8, height=14, width=14, out_channels=64, kernel=3, stride=1, padding=1),
+            dict(in_channels=64, depth=4, height=14, width=14, out_channels=64, kernel=3, stride=1, padding=1),
+            dict(in_channels=64, depth=4, height=7, width=7, out_channels=128, kernel=3, stride=1, padding=1),
+        ],
+        # BERT / transformer matmuls
+        "GMM": [
+            dict(m=128, n=768, k=768),
+            dict(m=128, n=3072, k=768),
+            dict(m=128, n=768, k=3072),
+            dict(m=512, n=512, k=512),
+        ],
+        "GRP": [
+            dict(in_channels=128, height=28, width=28, out_channels=128, kernel=3, stride=1, padding=1, groups=4),
+            dict(in_channels=256, height=14, width=14, out_channels=256, kernel=3, stride=1, padding=1, groups=8),
+            dict(in_channels=128, height=28, width=28, out_channels=256, kernel=3, stride=2, padding=1, groups=4),
+            dict(in_channels=512, height=7, width=7, out_channels=512, kernel=3, stride=1, padding=1, groups=32),
+        ],
+        "DIL": [
+            dict(in_channels=64, height=56, width=56, out_channels=64, kernel=3, stride=1, padding=2, dilation=2),
+            dict(in_channels=128, height=28, width=28, out_channels=128, kernel=3, stride=1, padding=2, dilation=2),
+            dict(in_channels=256, height=14, width=14, out_channels=256, kernel=3, stride=1, padding=4, dilation=4),
+            dict(in_channels=512, height=7, width=7, out_channels=512, kernel=3, stride=1, padding=2, dilation=2),
+        ],
+        # MobileNet depthwise layers
+        "DEP": [
+            dict(channels=32, height=112, width=112, kernel=3, stride=1, padding=1),
+            dict(channels=96, height=56, width=56, kernel=3, stride=2, padding=1),
+            dict(channels=192, height=28, width=28, kernel=3, stride=1, padding=1),
+            dict(channels=384, height=14, width=14, kernel=3, stride=1, padding=1),
+        ],
+        # DCGAN generator layers
+        "T2D": [
+            dict(in_channels=512, height=4, width=4, out_channels=256, kernel=4, stride=2, padding=1),
+            dict(in_channels=256, height=8, width=8, out_channels=128, kernel=4, stride=2, padding=1),
+            dict(in_channels=128, height=16, width=16, out_channels=64, kernel=4, stride=2, padding=1),
+            dict(in_channels=64, height=32, width=32, out_channels=3, kernel=4, stride=2, padding=1),
+        ],
+        # Capsule network layers
+        "CAP": [
+            dict(in_channels=8, height=28, width=28, out_channels=16, kernel=3, stride=1, padding=1),
+            dict(in_channels=16, height=14, width=14, out_channels=16, kernel=3, stride=1, padding=1),
+            dict(in_channels=16, height=14, width=14, out_channels=32, kernel=3, stride=2, padding=1),
+            dict(in_channels=32, height=7, width=7, out_channels=32, kernel=3, stride=1, padding=1),
+        ],
+        "NRM": [
+            dict(m=256, n=256),
+            dict(m=512, n=512),
+            dict(m=1024, n=1024),
+            dict(m=128, n=4096),
+        ],
+    }
+
+
+def make_op_dag(op_name: str, config: Dict, batch: int = 1) -> ComputeDAG:
+    """Build the computation DAG of one single-operator test case."""
+    if op_name == "C1D":
+        return conv1d(batch, **config)
+    if op_name == "C2D":
+        return conv2d(batch, **config)
+    if op_name == "C3D":
+        return conv3d(batch, **config)
+    if op_name == "GMM":
+        return batch_matmul(batch, **config)
+    if op_name == "GRP":
+        return group_conv2d(batch, **config)
+    if op_name == "DIL":
+        return dilated_conv2d(batch, **config)
+    if op_name == "DEP":
+        return depthwise_conv2d(batch, **config)
+    if op_name == "T2D":
+        return transposed_conv2d(batch, **config)
+    if op_name == "CAP":
+        return capsule_conv2d(batch, **config)
+    if op_name == "NRM":
+        return matrix_norm(batch, **config)
+    raise ValueError(f"unknown operator {op_name!r}; known: {OP_NAMES}")

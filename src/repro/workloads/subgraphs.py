@@ -1,0 +1,122 @@
+"""Subgraph workloads (§7.2): ConvLayer and TBG.
+
+* **ConvLayer** — 2D convolution + batch normalization + ReLU, the common
+  pattern in convolutional networks.  For inference, batch normalization is
+  an affine transform per output channel (scale and shift), which is how it
+  is expressed here.
+* **TBG** — two matrix transposes followed by a batch matrix multiplication
+  (``transpose(A) x transpose(B)`` style), the common pattern in multi-head
+  attention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .. import te
+from ..te.dag import ComputeDAG
+from .ops import _conv_out
+
+__all__ = ["conv_layer", "tbg", "subgraph_shape_configs", "make_subgraph_dag", "SUBGRAPH_NAMES"]
+
+SUBGRAPH_NAMES = ("ConvLayer", "TBG")
+
+
+def conv_layer(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> ComputeDAG:
+    """conv2d + batch_norm (inference affine form) + ReLU."""
+    out_h = _conv_out(height, kernel, stride, padding)
+    out_w = _conv_out(width, kernel, stride, padding)
+    data = te.placeholder((batch, in_channels, height, width), name="data")
+    weight = te.placeholder((out_channels, in_channels, kernel, kernel), name="weight")
+    bn_scale = te.placeholder((out_channels,), name="bn_scale")
+    bn_shift = te.placeholder((out_channels,), name="bn_shift")
+    rc = te.reduce_axis(in_channels, "rc")
+    rh = te.reduce_axis(kernel, "rh")
+    rw = te.reduce_axis(kernel, "rw")
+    conv = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, co, h, w: te.sum_expr(
+            data[n, rc, h * stride - padding + rh, w * stride - padding + rw] * weight[co, rc, rh, rw],
+            [rc, rh, rw],
+        ),
+        name="conv2d",
+        tag="conv2d",
+    )
+    bn = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, co, h, w: conv[n, co, h, w] * bn_scale[co] + bn_shift[co],
+        name="bn",
+        tag="batch_norm",
+    )
+    relu = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, co, h, w: te.Max(bn[n, co, h, w], te.const(0.0)),
+        name="relu",
+        tag="relu",
+    )
+    return ComputeDAG([relu])
+
+
+def tbg(batch: int, seq_len: int, num_heads: int, head_dim: int) -> ComputeDAG:
+    """Transpose + transpose + batch matmul (the attention-score pattern).
+
+    Inputs are ``(batch, seq, heads, dim)``; the output is the per-head
+    attention score matrix ``(batch * heads, seq, seq)``.
+    """
+    query = te.placeholder((batch, seq_len, num_heads, head_dim), name="query")
+    key = te.placeholder((batch, seq_len, num_heads, head_dim), name="key")
+    q_t = te.compute(
+        (batch * num_heads, seq_len, head_dim),
+        lambda bh, s, d: query[bh // num_heads, s, bh % num_heads, d],
+        name="q_transpose",
+        tag="transpose",
+    )
+    k_t = te.compute(
+        (batch * num_heads, seq_len, head_dim),
+        lambda bh, s, d: key[bh // num_heads, s, bh % num_heads, d],
+        name="k_transpose",
+        tag="transpose",
+    )
+    rk = te.reduce_axis(head_dim, "rk")
+    score = te.compute(
+        (batch * num_heads, seq_len, seq_len),
+        lambda bh, i, j: te.sum_expr(q_t[bh, i, rk] * k_t[bh, j, rk], [rk]),
+        name="attention_score",
+        tag="batch_matmul",
+    )
+    return ComputeDAG([score])
+
+
+def subgraph_shape_configs() -> Dict[str, List[Dict]]:
+    """Four shape configurations per subgraph (§7.2)."""
+    return {
+        "ConvLayer": [
+            dict(in_channels=64, height=56, width=56, out_channels=64, kernel=3, stride=1, padding=1),
+            dict(in_channels=128, height=28, width=28, out_channels=128, kernel=3, stride=1, padding=1),
+            dict(in_channels=256, height=14, width=14, out_channels=256, kernel=3, stride=1, padding=1),
+            dict(in_channels=512, height=7, width=7, out_channels=512, kernel=3, stride=1, padding=1),
+        ],
+        "TBG": [
+            dict(seq_len=128, num_heads=12, head_dim=64),
+            dict(seq_len=128, num_heads=16, head_dim=64),
+            dict(seq_len=384, num_heads=12, head_dim=64),
+            dict(seq_len=512, num_heads=12, head_dim=64),
+        ],
+    }
+
+
+def make_subgraph_dag(name: str, config: Dict, batch: int = 1) -> ComputeDAG:
+    if name == "ConvLayer":
+        return conv_layer(batch, **config)
+    if name == "TBG":
+        return tbg(batch, **config)
+    raise ValueError(f"unknown subgraph {name!r}; known: {SUBGRAPH_NAMES}")

@@ -1,0 +1,141 @@
+"""Tests for the lowering pass: loop nests, access analysis and fusion tiles."""
+
+import pytest
+
+from repro.codegen.lowering import linear_coefficients, lower_state
+from repro.te.expr import Var
+
+from ..conftest import make_matmul_relu_dag, make_norm_dag
+
+
+@pytest.fixture
+def dag():
+    return make_matmul_relu_dag(64, 64, 64)
+
+
+def test_linear_coefficients_simple_var():
+    i = Var("i")
+    coeffs, const = linear_coefficients(i)
+    assert coeffs == {"i": 1} and const == 0
+
+
+def test_linear_coefficients_affine():
+    i, r = Var("i"), Var("r")
+    coeffs, const = linear_coefficients(i * 2 - 3 + r)
+    assert coeffs == {"i": 2, "r": 1}
+    assert const == -3
+
+
+def test_linear_coefficients_constant_only():
+    coeffs, const = linear_coefficients(Var("i") * 0 + 5)
+    assert const == 5
+
+
+def test_lower_naive_state_has_one_nest_per_compute_stage(dag):
+    program = lower_state(dag.init_state())
+    assert set(program.nests) == {"C", "D"}
+    assert len(program.roots) == 2
+
+
+def test_nest_iteration_and_flop_counts(dag):
+    program = lower_state(dag.init_state())
+    c = program.nests["C"]
+    assert c.iteration_count() == 64 ** 3
+    assert c.total_flops() == 2 * 64 ** 3
+    d = program.nests["D"]
+    assert d.iteration_count() == 64 * 64
+
+
+def test_accesses_reads_and_writes(dag):
+    program = lower_state(dag.init_state())
+    c = program.nests["C"]
+    read_buffers = {a.buffer for a in c.reads()}
+    write_buffers = {a.buffer for a in c.writes()}
+    assert read_buffers == {"A", "B"}
+    assert write_buffers == {"C"}
+
+
+def test_element_strides_of_matmul_reads(dag):
+    program = lower_state(dag.init_state())
+    c = program.nests["C"]
+    a_access = next(a for a in c.reads() if a.buffer == "A")
+    b_access = next(a for a in c.reads() if a.buffer == "B")
+    # A[i, rk]: stride 64 along i, stride 1 along rk
+    strides_a = a_access.element_strides()
+    assert strides_a["C_i"] == 64
+    assert strides_a["rk"] == 1
+    # B[rk, j]: stride 64 along rk, stride 1 along j
+    strides_b = b_access.element_strides()
+    assert strides_b["rk"] == 64
+    assert strides_b["C_j"] == 1
+
+
+def test_inlined_stage_folds_into_consumer():
+    dag = make_matmul_relu_dag(16, 16, 16)
+    state = dag.init_state()
+    # Inline C into D is not legal (reduction), but inlining D would remove
+    # the output; instead build an intermediate elementwise op scenario by
+    # inlining nothing and checking inline of an intermediate works at the
+    # lowering level using the relu's producer chain.
+    state2 = dag.init_state()
+    state2.compute_inline("C")  # structurally allowed; lowering folds the reads
+    program = lower_state(state2)
+    assert "C" not in program.nests
+    d = program.nests["D"]
+    read_buffers = {a.buffer for a in d.reads()}
+    assert {"A", "B"} <= read_buffers
+
+
+def test_attached_consumer_is_shrunk_to_tile(dag):
+    state = dag.init_state()
+    state.split("C", 0, [16])  # i -> 4 x 16
+    state.split("C", 2, [16])  # j -> 4 x 16
+    state.reorder("C", [0, 2, 1, 3, 4])
+    state.compute_at("D", "C", 1)
+    program = lower_state(state)
+    d = program.nests["D"]
+    # D covers only the 16x16 tile produced per (i.0, j.0) iteration.
+    assert d.iteration_count() == 16 * 16
+    assert d.execution_count() == 16
+    # outer context is C's two outer loops
+    assert [l.extent for l in d.outer_context] == [4, 4]
+
+
+def test_attached_consumer_execution_conserves_total_work(dag):
+    state = dag.init_state()
+    state.split("C", 0, [16])
+    state.split("C", 2, [16])
+    state.reorder("C", [0, 2, 1, 3, 4])
+    state.compute_at("D", "C", 1)
+    program = lower_state(state)
+    d = program.nests["D"]
+    assert d.total_iterations() == 64 * 64
+
+
+def test_cache_write_lowering_keeps_both_stages(dag):
+    state = dag.init_state()
+    state.cache_write("C")
+    program = lower_state(state)
+    assert "C.cache" in program.nests
+    assert "C" in program.nests
+    cache = program.nests["C.cache"]
+    assert {a.buffer for a in cache.reads()} == {"A", "B"}
+    copy = program.nests["C"]
+    assert {a.buffer for a in copy.reads()} == {"C.cache"}
+
+
+def test_rfactor_lowering_produces_two_stages():
+    dag = make_norm_dag()
+    state = dag.init_state()
+    state.split("S", 1, [16])
+    state.rfactor("S", 2)
+    program = lower_state(state)
+    assert "S.rf" in program.nests
+    rf = program.nests["S.rf"]
+    final = program.nests["S"]
+    assert rf.iteration_count() > final.iteration_count()
+
+
+def test_total_flops_of_program(dag):
+    program = lower_state(dag.init_state())
+    assert program.total_flops() == pytest.approx(2 * 64 ** 3 + 64 * 64)

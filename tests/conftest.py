@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import te
+from repro.hardware import CostSimulator, ProgramMeasurer, intel_cpu
+from repro.task import SearchTask
+
+
+def make_matmul_dag(m=64, n=64, k=64):
+    A = te.placeholder((m, k), name="A")
+    B = te.placeholder((k, n), name="B")
+    rk = te.reduce_axis(k, "rk")
+    C = te.compute((m, n), lambda i, j: te.sum_expr(A[i, rk] * B[rk, j], [rk]), name="C", tag="matmul")
+    return te.ComputeDAG([C])
+
+
+def make_matmul_relu_dag(m=64, n=64, k=64):
+    A = te.placeholder((m, k), name="A")
+    B = te.placeholder((k, n), name="B")
+    rk = te.reduce_axis(k, "rk")
+    C = te.compute((m, n), lambda i, j: te.sum_expr(A[i, rk] * B[rk, j], [rk]), name="C", tag="matmul")
+    D = te.compute((m, n), lambda i, j: te.Max(C[i, j], te.const(0.0)), name="D", tag="relu")
+    return te.ComputeDAG([D])
+
+
+def make_norm_dag(batch=4, m=128, n=128):
+    A = te.placeholder((batch, m, n), name="A")
+    ri = te.reduce_axis(m, "ri")
+    rj = te.reduce_axis(n, "rj")
+    S = te.compute((batch,), lambda b: te.sum_expr(A[b, ri, rj] * A[b, ri, rj], [ri, rj]), name="S")
+    N = te.compute((batch,), lambda b: te.Call("sqrt", [S[b]]), name="N")
+    return te.ComputeDAG([N])
+
+
+@pytest.fixture
+def matmul_dag():
+    return make_matmul_dag()
+
+
+@pytest.fixture
+def matmul_relu_dag():
+    return make_matmul_relu_dag()
+
+
+@pytest.fixture
+def norm_dag():
+    return make_norm_dag()
+
+
+@pytest.fixture
+def small_matmul_relu_dag():
+    return make_matmul_relu_dag(8, 8, 8)
+
+
+@pytest.fixture
+def intel_hardware():
+    return intel_cpu()
+
+
+@pytest.fixture
+def simulator(intel_hardware):
+    return CostSimulator(intel_hardware)
+
+
+@pytest.fixture
+def measurer(intel_hardware):
+    return ProgramMeasurer(intel_hardware, seed=0)
+
+
+@pytest.fixture
+def matmul_relu_task(matmul_relu_dag, intel_hardware):
+    return SearchTask(matmul_relu_dag, intel_hardware, desc="matmul+relu 64")
+
+
+@pytest.fixture
+def matmul_task(matmul_dag, intel_hardware):
+    return SearchTask(matmul_dag, intel_hardware, desc="matmul 64")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

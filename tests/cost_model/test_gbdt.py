@@ -1,0 +1,121 @@
+"""Tests for the from-scratch gradient boosted regression trees."""
+
+import numpy as np
+import pytest
+
+from repro.cost_model.gbdt import GBDTRegressor, RegressionTree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_tree_fits_a_step_function(rng):
+    X = rng.random((200, 3))
+    y = (X[:, 0] > 0.5).astype(float)
+    tree = RegressionTree(max_depth=2).fit(X, y)
+    pred = tree.predict(X)
+    accuracy = np.mean((pred > 0.5) == (y > 0.5))
+    assert accuracy > 0.95
+
+
+def test_tree_constant_target_gives_constant_prediction(rng):
+    X = rng.random((50, 4))
+    y = np.full(50, 3.25)
+    tree = RegressionTree().fit(X, y)
+    np.testing.assert_allclose(tree.predict(X), 3.25)
+
+
+def test_tree_respects_sample_weights(rng):
+    X = np.vstack([np.zeros((10, 1)), np.ones((10, 1))])
+    y = np.concatenate([np.zeros(10), np.ones(10)])
+    # Give all the weight to the second half: a depth-0-like fit should lean to 1.
+    w = np.concatenate([np.full(10, 1e-6), np.full(10, 1.0)])
+    tree = RegressionTree(max_depth=0).fit(X, y, sample_weight=w)
+    assert tree.predict(np.array([[0.5]]))[0] > 0.99
+
+
+def test_tree_min_samples_leaf_limits_splits(rng):
+    X = rng.random((10, 2))
+    y = rng.random(10)
+    tree = RegressionTree(max_depth=5, min_samples_leaf=10).fit(X, y)
+    assert len(tree.nodes) == 1  # no split possible
+
+
+def test_gbdt_reduces_training_error(rng):
+    X = rng.random((300, 5))
+    y = 2 * X[:, 0] + np.sin(3 * X[:, 1]) + 0.1 * rng.standard_normal(300)
+    model = GBDTRegressor(n_rounds=40, learning_rate=0.2, max_depth=3, seed=0).fit(X, y)
+    pred = model.predict(X)
+    baseline_error = np.mean((y - y.mean()) ** 2)
+    model_error = np.mean((y - pred) ** 2)
+    assert model_error < baseline_error * 0.3
+
+
+def test_gbdt_generalizes_on_smooth_function(rng):
+    X = rng.random((400, 2))
+    y = X[:, 0] * X[:, 1]
+    model = GBDTRegressor(n_rounds=50, max_depth=4, seed=1).fit(X, y)
+    X_test = rng.random((100, 2))
+    y_test = X_test[:, 0] * X_test[:, 1]
+    error = np.mean((model.predict(X_test) - y_test) ** 2)
+    assert error < 0.02
+
+
+def test_gbdt_ranking_quality(rng):
+    """The cost model is used for ranking, so check pairwise ordering."""
+    X = rng.random((300, 4))
+    y = X @ np.array([3.0, -2.0, 1.0, 0.0])
+    model = GBDTRegressor(n_rounds=40, max_depth=3).fit(X, y)
+    pred = model.predict(X)
+    idx = rng.choice(300, size=(200, 2))
+    agree = 0
+    for a, b in idx:
+        if y[a] == y[b]:
+            agree += 1
+        elif (y[a] > y[b]) == (pred[a] > pred[b]):
+            agree += 1
+    assert agree / len(idx) > 0.85
+
+
+def test_gbdt_is_deterministic_for_fixed_seed(rng):
+    X = rng.random((100, 3))
+    y = X[:, 0]
+    p1 = GBDTRegressor(n_rounds=10, seed=3).fit(X, y).predict(X)
+    p2 = GBDTRegressor(n_rounds=10, seed=3).fit(X, y).predict(X)
+    np.testing.assert_allclose(p1, p2)
+
+
+def test_gbdt_fit_boosting_custom_residuals(rng):
+    """Grouped residuals: two statements per program must sum to the label."""
+    n_programs = 80
+    X = rng.random((n_programs * 2, 4))
+    group = np.repeat(np.arange(n_programs), 2)
+    labels = rng.random(n_programs)
+
+    def residual_fn(pred):
+        program_pred = np.bincount(group, weights=pred, minlength=n_programs)
+        return (labels - program_pred)[group]
+
+    model = GBDTRegressor(n_rounds=30, max_depth=3, learning_rate=0.3)
+    model.fit_boosting(X, residual_fn)
+    program_pred = np.bincount(group, weights=model.predict(X), minlength=n_programs)
+    error = np.mean((program_pred - labels) ** 2)
+    assert error < np.var(labels)
+
+
+def test_gbdt_is_fitted_flag():
+    model = GBDTRegressor(n_rounds=2)
+    assert not model.is_fitted
+    X = np.random.default_rng(0).random((20, 2))
+    model.fit(X, X[:, 0])
+    assert model.is_fitted
+
+
+def test_gbdt_handles_constant_features(rng):
+    X = np.ones((50, 3))
+    y = rng.random(50)
+    model = GBDTRegressor(n_rounds=5).fit(X, y)
+    pred = model.predict(X)
+    np.testing.assert_allclose(pred, pred[0])

@@ -1,0 +1,147 @@
+"""Tests for the analytical machine model.
+
+These tests pin down the optimization landscape the search relies on: good
+schedule decisions (tiling, vectorization, parallelization, fusion,
+unrolling) must reduce the estimated time, and machine differences (ARM vs
+Intel vs GPU) must show up in the obvious direction.
+"""
+
+import pytest
+
+from repro.hardware import CostSimulator, arm_cpu, intel_cpu, nvidia_gpu
+from repro.hardware.platform import target_from_name
+
+from ..conftest import make_matmul_dag, make_matmul_relu_dag
+
+
+@pytest.fixture
+def sim():
+    return CostSimulator(intel_cpu())
+
+
+def _tiled_matmul_state(dag, parallel=True, vectorize=True, unroll=0):
+    state = dag.init_state()
+    state.split("C", 0, [4, 8, 4])
+    state.split("C", 4, [4, 4, 16])
+    state.split("C", 8, [16])
+    state.reorder("C", [0, 4, 1, 5, 8, 2, 6, 9, 3, 7])
+    state.fuse("C", [0, 1])
+    if parallel:
+        state.parallel("C", 0)
+    if vectorize:
+        state.vectorize("C", 8)
+    if unroll:
+        state.pragma("C", "auto_unroll_max_step", unroll)
+    return state
+
+
+@pytest.fixture
+def dag512():
+    return make_matmul_dag(512, 512, 512)
+
+
+def test_estimate_positive_and_has_floor(sim, matmul_dag):
+    t = sim.estimate(matmul_dag.init_state())
+    assert t >= CostSimulator.MIN_PROGRAM_TIME
+
+
+def test_tiling_beats_naive(sim, dag512):
+    naive = sim.estimate(dag512.init_state())
+    tiled = sim.estimate(_tiled_matmul_state(dag512))
+    assert tiled < naive / 10
+
+
+def test_parallel_annotation_helps(sim, dag512):
+    with_parallel = sim.estimate(_tiled_matmul_state(dag512, parallel=True))
+    without_parallel = sim.estimate(_tiled_matmul_state(dag512, parallel=False))
+    assert with_parallel < without_parallel
+
+
+def test_vectorize_annotation_helps(sim, dag512):
+    with_vec = sim.estimate(_tiled_matmul_state(dag512, vectorize=True))
+    without_vec = sim.estimate(_tiled_matmul_state(dag512, vectorize=False))
+    assert with_vec < without_vec
+
+
+def test_unroll_pragma_reduces_loop_overhead(sim, dag512):
+    base = sim.estimate_detailed(_tiled_matmul_state(dag512, unroll=0))
+    unrolled = sim.estimate_detailed(_tiled_matmul_state(dag512, unroll=512))
+    base_overhead = sum(n.overhead_time for n in base.nests)
+    unrolled_overhead = sum(n.overhead_time for n in unrolled.nests)
+    assert unrolled_overhead < base_overhead
+
+
+def test_fusion_reduces_consumer_cost(sim):
+    dag = make_matmul_relu_dag(256, 256, 256)
+    unfused = dag.init_state()
+    unfused.split("C", 0, [16])
+    unfused.split("C", 2, [16])
+    unfused.reorder("C", [0, 2, 1, 3, 4])
+    unfused.parallel("C", 0)
+
+    fused = dag.init_state()
+    fused.split("C", 0, [16])
+    fused.split("C", 2, [16])
+    fused.reorder("C", [0, 2, 1, 3, 4])
+    fused.compute_at("D", "C", 1)
+    fused.parallel("C", 0)
+
+    cost_unfused = sim.estimate_detailed(unfused)
+    cost_fused = sim.estimate_detailed(fused)
+    d_unfused = next(n for n in cost_unfused.nests if n.name == "D")
+    d_fused = next(n for n in cost_fused.nests if n.name == "D")
+    # The fused consumer reads tile-resident data rather than streaming the
+    # whole intermediate from memory.
+    assert d_fused.memory_time <= d_unfused.memory_time
+
+
+def test_throughput_is_flops_over_time(sim, matmul_dag):
+    state = matmul_dag.init_state()
+    detailed = sim.estimate_detailed(state)
+    assert sim.throughput(state) == pytest.approx(
+        detailed.total_flops / detailed.total_seconds, rel=1e-9
+    )
+
+
+def test_gflops_never_exceeds_machine_peak(sim, dag512):
+    hw = intel_cpu()
+    best = sim.estimate_detailed(_tiled_matmul_state(dag512, unroll=512))
+    assert best.gflops <= hw.peak_flops() / 1e9 * 1.05
+
+
+def test_arm_is_slower_than_intel(dag512):
+    state_builder = _tiled_matmul_state
+    intel_time = CostSimulator(intel_cpu()).estimate(state_builder(dag512))
+    arm_time = CostSimulator(arm_cpu()).estimate(state_builder(dag512))
+    assert arm_time > intel_time * 5
+
+
+def test_gpu_needs_parallelism(dag512):
+    gpu = CostSimulator(nvidia_gpu())
+    parallel = gpu.estimate(_tiled_matmul_state(dag512, parallel=True))
+    serial = gpu.estimate(_tiled_matmul_state(dag512, parallel=False))
+    assert parallel < serial / 5
+
+
+def test_nest_cost_breakdown_fields(sim, dag512):
+    detailed = sim.estimate_detailed(_tiled_matmul_state(dag512))
+    nest = detailed.nests[0]
+    assert nest.flops > 0
+    assert nest.parallel_factor >= 1.0
+    assert nest.vector_speedup >= 1.0
+    assert nest.traffic_bytes
+    assert nest.total == max(nest.compute_time, nest.memory_time, nest.overhead_time)
+
+
+def test_target_lookup():
+    assert target_from_name("intel-cpu").kind == "cpu"
+    assert target_from_name("nvidia-gpu").kind == "gpu"
+    with pytest.raises(ValueError):
+        target_from_name("tpu-v9")
+
+
+def test_hardware_presets_are_sane():
+    for hw in (intel_cpu(), arm_cpu(), nvidia_gpu()):
+        assert hw.num_cores >= 1
+        assert hw.peak_flops() > 0
+        assert hw.cache_levels[0].capacity_bytes < hw.cache_levels[-1].capacity_bytes or len(hw.cache_levels) == 1

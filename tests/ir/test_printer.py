@@ -1,0 +1,57 @@
+"""Tests for the Figure-5 style program printer."""
+
+import pytest
+
+from ..conftest import make_matmul_relu_dag
+
+
+@pytest.fixture
+def dag():
+    return make_matmul_relu_dag()
+
+
+def test_naive_program_prints_all_loops(dag):
+    text = dag.init_state().print_program()
+    assert text.count("for ") == 5  # 3 loops for C, 2 for D
+    assert "C[...] += A[...] * B[...]" in text
+    assert "D[...]" in text
+
+
+def test_annotations_change_loop_keywords(dag):
+    state = dag.init_state()
+    state.parallel("C", 0)
+    state.vectorize("C", 1)
+    state.unroll("C", 2)
+    text = state.print_program()
+    assert "parallel " in text
+    assert "vectorize " in text
+    assert "unroll " in text
+
+
+def test_attached_stage_prints_nested_after_inner_loops(dag):
+    state = dag.init_state()
+    state.split("C", 0, [16])
+    state.split("C", 2, [16])
+    state.reorder("C", [0, 2, 1, 3, 4])
+    state.compute_at("D", "C", 1)
+    text = state.print_program()
+    lines = text.splitlines()
+    c_statement = next(i for i, l in enumerate(lines) if "C[...] +=" in l)
+    d_statement = next(i for i, l in enumerate(lines) if "D[...]" in l)
+    # the fused consumer's statement appears after the producer's body
+    assert d_statement > c_statement
+    # and it is indented relative to the root
+    assert lines[d_statement].startswith("  ")
+
+
+def test_fused_loop_names_are_joined(dag):
+    state = dag.init_state()
+    state.fuse("C", [0, 1])
+    assert "C_i@C_j" in state.print_program()
+
+
+def test_cache_copy_statement(dag):
+    state = dag.init_state()
+    state.cache_write("C")
+    text = state.print_program()
+    assert "C[...] = C.cache[...]" in text

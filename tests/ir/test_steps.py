@@ -1,0 +1,274 @@
+"""Tests for the transform steps: semantics and serialization."""
+
+import pytest
+
+from repro.ir.state import State
+from repro.ir.steps import (
+    AnnotationStep,
+    CacheWriteStep,
+    ComputeAtStep,
+    FuseStep,
+    PragmaStep,
+    ReorderStep,
+    RfactorStep,
+    SplitStep,
+    step_from_dict,
+)
+
+from ..conftest import make_matmul_relu_dag, make_norm_dag
+
+
+@pytest.fixture
+def state():
+    return make_matmul_relu_dag().init_state()
+
+
+# ---------------------------------------------------------------------------
+# Split
+# ---------------------------------------------------------------------------
+
+
+def test_split_creates_nested_iterators(state):
+    state.split("C", 0, [8])
+    names = [it.name for it in state.stage("C").iters]
+    assert names[0].endswith(".0") and names[1].endswith(".1")
+    assert state.stage("C").iters[0].extent == 8
+    assert state.stage("C").iters[1].extent == 8
+
+
+def test_split_multiple_parts_preserves_product(state):
+    state.split("C", 0, [4, 4])
+    extents = [it.extent for it in state.stage("C").iters[:3]]
+    assert extents == [4, 4, 4]
+
+
+def test_split_strides_track_original_axis(state):
+    state.split("C", 0, [8])
+    outer, inner = state.stage("C").iters[0], state.stage("C").iters[1]
+    axis = list(outer.axis_strides)[0]
+    assert outer.axis_strides[axis] == 8
+    assert inner.axis_strides[axis] == 1
+
+
+def test_split_invalid_length_raises(state):
+    with pytest.raises(ValueError):
+        state.split("C", 0, [7])  # 7 does not divide 64
+
+
+def test_split_out_of_range_iterator_raises(state):
+    with pytest.raises(IndexError):
+        state.split("C", 10, [2])
+
+
+def test_split_placeholder_defaults_to_one(state):
+    state.split("C", 0, [None])
+    assert state.stage("C").iters[1].extent == 1
+    assert not state.is_concrete()
+
+
+# ---------------------------------------------------------------------------
+# Fuse
+# ---------------------------------------------------------------------------
+
+
+def test_fuse_combines_extents(state):
+    state.fuse("C", [0, 1])
+    assert state.stage("C").iters[0].extent == 64 * 64
+    assert len(state.stage("C").iters) == 2
+
+
+def test_fuse_requires_consecutive_iterators(state):
+    with pytest.raises(ValueError):
+        FuseStep("C", [0, 2])
+
+
+def test_fuse_requires_two_iterators(state):
+    with pytest.raises(ValueError):
+        FuseStep("C", [0])
+
+
+def test_fuse_rejects_mixing_spatial_and_reduce(state):
+    # iterators of C: i, j (spatial), rk (reduce)
+    with pytest.raises(ValueError):
+        state.fuse("C", [1, 2])
+
+
+def test_fuse_keeps_kind(state):
+    state.fuse("C", [0, 1])
+    assert state.stage("C").iters[0].kind == "spatial"
+
+
+# ---------------------------------------------------------------------------
+# Reorder / annotations / pragma
+# ---------------------------------------------------------------------------
+
+
+def test_reorder_permutes(state):
+    before = [it.name for it in state.stage("C").iters]
+    state.reorder("C", [2, 0, 1])
+    after = [it.name for it in state.stage("C").iters]
+    assert after == [before[2], before[0], before[1]]
+
+
+def test_reorder_requires_permutation(state):
+    with pytest.raises(ValueError):
+        state.reorder("C", [0, 0, 1])
+
+
+def test_annotations_set_iterator_annotation(state):
+    state.parallel("C", 0)
+    state.vectorize("C", 1)
+    state.unroll("C", 2)
+    anns = [it.annotation for it in state.stage("C").iters]
+    assert anns == ["parallel", "vectorize", "unroll"]
+
+
+def test_annotation_out_of_range_raises(state):
+    with pytest.raises(IndexError):
+        state.parallel("C", 5)
+
+
+def test_pragma_sets_auto_unroll(state):
+    state.pragma("C", "auto_unroll_max_step", 64)
+    assert state.stage("C").auto_unroll_max_step == 64
+
+
+def test_unknown_pragma_raises(state):
+    with pytest.raises(ValueError):
+        state.pragma("C", "no_such_pragma", 1)
+
+
+# ---------------------------------------------------------------------------
+# Compute location
+# ---------------------------------------------------------------------------
+
+
+def test_compute_at_and_root(state):
+    state.compute_at("D", "C", 1)
+    loc = state.stage("D").compute_location
+    assert loc.kind == "at" and loc.target_stage == "C" and loc.target_iter == 1
+    state.compute_root("D")
+    assert state.stage("D").compute_location.kind == "root"
+
+
+def test_compute_inline(state):
+    state.compute_inline("D")
+    assert state.stage("D").is_inlined()
+
+
+def test_compute_at_invalid_target_iter(state):
+    with pytest.raises(IndexError):
+        state.compute_at("D", "C", 9)
+
+
+def test_split_shifts_attached_iterators(state):
+    state.compute_at("D", "C", 2)
+    state.split("C", 0, [8])  # inserts one iterator before index 2
+    assert state.stage("D").compute_location.target_iter == 3
+
+
+def test_fuse_shifts_attached_iterators(state):
+    state.compute_at("D", "C", 2)
+    state.fuse("C", [0, 1])  # removes one iterator before index 2
+    assert state.stage("D").compute_location.target_iter == 1
+
+
+def test_reorder_remaps_attached_iterators(state):
+    state.compute_at("D", "C", 2)
+    state.reorder("C", [2, 0, 1])
+    assert state.stage("D").compute_location.target_iter == 0
+
+
+# ---------------------------------------------------------------------------
+# Cache write / rfactor
+# ---------------------------------------------------------------------------
+
+
+def test_cache_write_adds_cache_stage(state):
+    state.cache_write("C")
+    names = [s.name for s in state.stages]
+    assert "C.cache" in names
+    assert names.index("C.cache") < names.index("C")
+    cache_stage = state.stage("C.cache")
+    assert cache_stage.is_cache_stage
+    # the original stage became a pure copy: no reduction iterators
+    assert all(it.is_spatial() for it in state.stage("C").iters)
+
+
+def test_cache_write_consumer_relation(state):
+    state.cache_write("C")
+    consumers = state.stage_consumers("C.cache")
+    assert [s.name for s in consumers] == ["C"]
+
+
+def test_cache_write_twice_raises(state):
+    state.cache_write("C")
+    with pytest.raises(ValueError):
+        state.cache_write("C")
+
+
+def test_cache_write_on_placeholder_raises(state):
+    with pytest.raises(ValueError):
+        state.cache_write("A")
+
+
+def test_rfactor_creates_rf_stage():
+    state = make_norm_dag().init_state()
+    state.split("S", 1, [16])   # split the first reduction axis
+    state.rfactor("S", 2)       # factor the inner part
+    names = [s.name for s in state.stages]
+    assert "S.rf" in names
+    rf = state.stage("S.rf")
+    assert rf.is_rfactor_stage
+    # the factored axis became spatial in the rf stage
+    assert sum(1 for it in rf.iters if it.is_spatial()) == 2
+    # the final stage reduces over the factored axis only
+    final = state.stage("S")
+    assert sum(1 for it in final.iters if it.is_reduce()) == 1
+
+
+def test_rfactor_requires_reduce_iterator(state):
+    with pytest.raises(ValueError):
+        state.rfactor("C", 0)
+
+
+def test_rfactor_on_non_compute_raises(state):
+    with pytest.raises(ValueError):
+        state.rfactor("A", 0)
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "step",
+    [
+        SplitStep("C", 0, [4, None]),
+        FuseStep("C", [0, 1]),
+        ReorderStep("C", [1, 0, 2]),
+        AnnotationStep("C", 0, "parallel"),
+        PragmaStep("C", "auto_unroll_max_step", 16),
+        ComputeAtStep("D", "C", 1),
+        CacheWriteStep("C"),
+        RfactorStep("S", 1),
+    ],
+)
+def test_step_serialization_round_trip(step):
+    data = step.to_dict()
+    rebuilt = step_from_dict(data)
+    assert rebuilt.to_dict() == data
+    assert type(rebuilt) is type(step)
+
+
+def test_step_from_dict_unknown_kind():
+    with pytest.raises(ValueError):
+        step_from_dict({"kind": "teleport"})
+
+
+def test_step_copy_is_independent():
+    step = SplitStep("C", 0, [4, 4])
+    clone = step.copy()
+    clone.lengths[0] = 8
+    assert step.lengths[0] == 4

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The invariants checked here are the ones the whole search relies on:
+
+* split factorizations always preserve the iteration space,
+* random annotation always produces valid, measurable programs,
+* schedule transformations never change which buffers a program reads or
+  writes,
+* tile-size mutation preserves the iteration space,
+* the GBDT handles arbitrary regression data without crashing and predicts
+  finite values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import te
+from repro.codegen.lowering import lower_state
+from repro.cost_model.features import extract_program_features
+from repro.cost_model.gbdt import GBDTRegressor
+from repro.hardware import CostSimulator, intel_cpu
+from repro.search import (
+    generate_sketches,
+    mutate_tile_size,
+    random_factor_split,
+    sample_complete_program,
+)
+from repro.task import SearchTask
+from repro.te.dag import ComputeDAG
+
+
+def _matmul_relu(m, n, k):
+    A = te.placeholder((m, k), name="A")
+    B = te.placeholder((k, n), name="B")
+    rk = te.reduce_axis(k, "rk")
+    C = te.compute((m, n), lambda i, j: te.sum_expr(A[i, rk] * B[rk, j], [rk]), name="C")
+    D = te.compute((m, n), lambda i, j: te.Max(C[i, j], te.const(0.0)), name="D")
+    return ComputeDAG([D])
+
+
+_SIZES = st.sampled_from([8, 12, 16, 24, 32, 48, 64, 96, 128])
+
+
+@given(extent=st.integers(min_value=1, max_value=1024), n_inner=st.integers(1, 4), seed=st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_random_factor_split_always_divides(extent, n_inner, seed):
+    rng = np.random.default_rng(seed)
+    lengths = random_factor_split(extent, n_inner, rng)
+    assert len(lengths) == n_inner
+    product = int(np.prod(lengths))
+    assert product >= 1
+    assert extent % product == 0
+
+
+@given(m=_SIZES, n=_SIZES, k=_SIZES, seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_sampled_programs_preserve_iteration_space(m, n, k, seed):
+    dag = _matmul_relu(m, n, k)
+    task = SearchTask(dag, intel_cpu())
+    rng = np.random.default_rng(seed)
+    sketches = generate_sketches(task)
+    state = sample_complete_program(task, sketches, rng)
+    # The stage holding the matmul computation covers exactly m*n*k points.
+    name = "C.cache" if state.has_stage("C.cache") else "C"
+    assert state.stage(name).iteration_count() == m * n * k
+    # And the program is simulatable with a positive finite cost.
+    cost = CostSimulator(task.hardware_params).estimate(state)
+    assert np.isfinite(cost) and cost > 0
+
+
+@given(m=_SIZES, n=_SIZES, k=_SIZES, seed=st.integers(0, 100))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_schedules_never_change_buffer_set(m, n, k, seed):
+    dag = _matmul_relu(m, n, k)
+    task = SearchTask(dag, intel_cpu())
+    rng = np.random.default_rng(seed)
+    sketches = generate_sketches(task)
+    state = sample_complete_program(task, sketches, rng)
+    program = lower_state(state)
+    read = {a.buffer for nest in program.all_nests() for a in nest.reads()}
+    written = {a.buffer for nest in program.all_nests() for a in nest.writes()}
+    # Whatever the schedule, the program must read the placeholders and write
+    # the DAG output; any extra buffers must be schedule-introduced caches.
+    assert {"A", "B"} <= read
+    assert "D" in written
+    for extra in written - {"C", "D"}:
+        assert extra.endswith(".cache") or extra.endswith(".rf")
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_tile_mutation_preserves_iteration_space(seed):
+    dag = _matmul_relu(64, 64, 64)
+    task = SearchTask(dag, intel_cpu())
+    rng = np.random.default_rng(seed)
+    sketches = generate_sketches(task)
+    parent = sample_complete_program(task, sketches, rng)
+    child = mutate_tile_size(parent, rng)
+    if child is None:
+        return
+    name = "C.cache" if child.has_stage("C.cache") else "C"
+    assert child.stage(name).iteration_count() == 64 ** 3
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_feature_extraction_always_finite(seed):
+    dag = _matmul_relu(32, 32, 32)
+    task = SearchTask(dag, intel_cpu())
+    rng = np.random.default_rng(seed)
+    sketches = generate_sketches(task)
+    state = sample_complete_program(task, sketches, rng)
+    features = extract_program_features(state)
+    assert features.shape[0] >= 1
+    assert np.isfinite(features).all()
+
+
+@given(
+    n_samples=st.integers(10, 60),
+    n_features=st.integers(1, 8),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_gbdt_never_produces_nan(n_samples, n_features, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n_samples, n_features))
+    y = rng.standard_normal(n_samples)
+    w = rng.random(n_samples) + 0.01
+    model = GBDTRegressor(n_rounds=5, max_depth=3, seed=seed).fit(X, y, sample_weight=w)
+    pred = model.predict(rng.random((20, n_features)))
+    assert np.isfinite(pred).all()

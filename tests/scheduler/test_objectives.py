@@ -1,0 +1,108 @@
+"""Tests for the Table-2 objective functions."""
+
+import math
+
+import pytest
+
+from repro.scheduler import (
+    EarlyStoppingLatency,
+    GeomeanSpeedup,
+    LatencyRequirement,
+    WeightedSumLatency,
+)
+
+
+# Two DNNs: DNN 0 has tasks 0,1 (weights 2,1); DNN 1 has task 2 (weight 3).
+WEIGHTS = [2.0, 1.0, 3.0]
+TASK_TO_DNN = [0, 0, 1]
+LATENCIES = [0.010, 0.020, 0.005]
+
+
+def test_f1_weighted_sum():
+    obj = WeightedSumLatency(WEIGHTS, TASK_TO_DNN)
+    # DNN0 = 2*0.01 + 1*0.02 = 0.04 ; DNN1 = 3*0.005 = 0.015
+    assert obj.dnn_latency(LATENCIES, 0) == pytest.approx(0.04)
+    assert obj.dnn_latency(LATENCIES, 1) == pytest.approx(0.015)
+    assert obj.value(LATENCIES) == pytest.approx(0.055)
+
+
+def test_f1_derivative_is_task_weight():
+    obj = WeightedSumLatency(WEIGHTS, TASK_TO_DNN)
+    assert obj.derivative(LATENCIES, 0) == 2.0
+    assert obj.derivative(LATENCIES, 2) == 3.0
+
+
+def test_f1_ignores_infinite_latencies():
+    obj = WeightedSumLatency(WEIGHTS, TASK_TO_DNN)
+    latencies = [float("inf"), 0.02, 0.005]
+    assert math.isfinite(obj.value(latencies))
+
+
+def test_f2_latency_requirement_met_means_zero_gradient():
+    obj = LatencyRequirement(WEIGHTS, TASK_TO_DNN, requirements=[0.100, 0.001])
+    # DNN0 is already below its requirement of 0.1 -> no gradient for its tasks
+    assert obj.derivative(LATENCIES, 0) == 0.0
+    assert obj.derivative(LATENCIES, 1) == 0.0
+    # DNN1 (0.015 > 0.001) still matters
+    assert obj.derivative(LATENCIES, 2) == 3.0
+
+
+def test_f2_value_uses_requirement_floor():
+    obj = LatencyRequirement(WEIGHTS, TASK_TO_DNN, requirements=[0.100, 0.001])
+    assert obj.value(LATENCIES) == pytest.approx(0.100 + 0.015)
+
+
+def test_f2_requires_one_requirement_per_dnn():
+    with pytest.raises(ValueError):
+        LatencyRequirement(WEIGHTS, TASK_TO_DNN, requirements=[0.1])
+
+
+def test_f3_geomean_speedup_value():
+    obj = GeomeanSpeedup(WEIGHTS, TASK_TO_DNN, reference_latencies=[0.08, 0.03])
+    # speedups: 0.08/0.04 = 2 ; 0.03/0.015 = 2 -> geomean 2 -> value -2
+    assert obj.value(LATENCIES) == pytest.approx(-2.0)
+
+
+def test_f3_derivative_sign_and_magnitude():
+    obj = GeomeanSpeedup(WEIGHTS, TASK_TO_DNN, reference_latencies=[0.08, 0.03])
+    # improving (decreasing) any latency must decrease the objective, so the
+    # partial derivative with respect to g_i is positive.
+    for i in range(3):
+        assert obj.derivative(LATENCIES, i) > 0
+
+
+def test_f3_requires_reference_per_dnn():
+    with pytest.raises(ValueError):
+        GeomeanSpeedup(WEIGHTS, TASK_TO_DNN, reference_latencies=[0.08])
+
+
+def test_f4_early_stopping_freezes_stale_task():
+    obj = EarlyStoppingLatency(WEIGHTS, TASK_TO_DNN, patience=2)
+    # task 0 improves, then stalls
+    obj.observe(0, 0.02)
+    obj.observe(0, 0.02)
+    obj.observe(0, 0.02)
+    assert obj.early_stopped(0)
+    assert obj.derivative(LATENCIES, 0) == 0.0
+    # task 1 never observed: not early stopped
+    assert not obj.early_stopped(1)
+    assert obj.derivative(LATENCIES, 1) == 1.0
+
+
+def test_f4_improvement_resets_patience():
+    obj = EarlyStoppingLatency(WEIGHTS, TASK_TO_DNN, patience=2)
+    obj.observe(0, 0.02)
+    obj.observe(0, 0.02)
+    obj.observe(0, 0.01)  # improvement resets the counter
+    assert not obj.early_stopped(0)
+
+
+def test_f4_value_is_finite():
+    obj = EarlyStoppingLatency(WEIGHTS, TASK_TO_DNN)
+    assert math.isfinite(obj.value(LATENCIES))
+
+
+def test_single_dnn_default_mapping():
+    obj = WeightedSumLatency([1.0, 1.0])
+    assert obj.num_dnns == 1
+    assert obj.value([0.1, 0.2]) == pytest.approx(0.3)

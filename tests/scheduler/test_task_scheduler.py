@@ -1,0 +1,162 @@
+"""Tests for the gradient-descent task scheduler (§6, Appendix A)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import ProgramMeasurer, intel_cpu
+from repro.scheduler import GeomeanSpeedup, TaskScheduler, WeightedSumLatency
+from repro.search.policy import SearchPolicy
+from repro.task import SearchTask
+
+from ..conftest import make_matmul_dag, make_matmul_relu_dag, make_norm_dag
+
+
+class FakePolicy(SearchPolicy):
+    """A deterministic policy whose best latency improves as 1/t.
+
+    Task i starts at ``initial`` seconds and converges towards
+    ``initial * floor_fraction`` — a controllable stand-in that lets the
+    scheduler's allocation behaviour be tested without running real search.
+    """
+
+    def __init__(self, task, initial: float, floor_fraction: float = 0.1, seed: int = 0):
+        super().__init__(task, seed=seed)
+        self.initial = initial
+        self.floor_fraction = floor_fraction
+        self.rounds = 0
+
+    def continue_search_one_round(self, num_measures, measurer):
+        self.rounds += 1
+        floor = self.initial * self.floor_fraction
+        cost = floor + (self.initial - floor) / self.rounds
+        self.best_cost = min(self.best_cost, cost)
+        from repro.hardware import MeasureInput, MeasureResult
+
+        inputs = [MeasureInput(self.task, self.task.compute_dag.init_state()) for _ in range(num_measures)]
+        results = [MeasureResult(costs=[cost]) for _ in range(num_measures)]
+        self._record_results(inputs, results)
+        return inputs, results
+
+
+def _make_tasks():
+    return [
+        SearchTask(make_matmul_relu_dag(64, 64, 64), intel_cpu(), desc="small"),
+        SearchTask(make_matmul_relu_dag(128, 128, 128), intel_cpu(), desc="medium"),
+        SearchTask(make_matmul_dag(256, 256, 256), intel_cpu(), desc="large"),
+    ]
+
+
+def _fake_factory(initials):
+    def factory(task, cost_model, seed):
+        index = len(factory.created)
+        policy = FakePolicy(task, initials[index], seed=seed)
+        factory.created.append(policy)
+        return policy
+
+    factory.created = []
+    return factory
+
+
+def test_round_robin_allocates_evenly():
+    tasks = _make_tasks()
+    factory = _fake_factory([0.1, 0.1, 0.1])
+    scheduler = TaskScheduler(tasks, strategy="round_robin", policy_factory=factory)
+    scheduler.tune(num_measure_trials=60, num_measures_per_round=10)
+    assert scheduler.allocations == [2, 2, 2]
+
+
+def test_warm_up_visits_every_task_once():
+    tasks = _make_tasks()
+    factory = _fake_factory([0.1, 0.2, 0.3])
+    scheduler = TaskScheduler(tasks, policy_factory=factory, eps_greedy=0.0)
+    scheduler.tune(num_measure_trials=30, num_measures_per_round=10)
+    assert all(a >= 1 for a in scheduler.allocations)
+
+
+def test_gradient_scheduler_prioritizes_heavy_task():
+    """A task with 100x the latency should receive most of the allocations
+    (the paper's 'prioritize a subgraph that has a high initial latency')."""
+    tasks = _make_tasks()
+    factory = _fake_factory([0.001, 0.001, 0.1])
+    scheduler = TaskScheduler(tasks, policy_factory=factory, eps_greedy=0.0, seed=0)
+    scheduler.tune(num_measure_trials=200, num_measures_per_round=10)
+    assert scheduler.allocations[2] > scheduler.allocations[0]
+    assert scheduler.allocations[2] > scheduler.allocations[1]
+    assert scheduler.allocations[2] >= sum(scheduler.allocations) * 0.5
+
+
+def test_task_weights_affect_allocation():
+    tasks = _make_tasks()
+    factory = _fake_factory([0.01, 0.01, 0.01])
+    scheduler = TaskScheduler(
+        tasks, task_weights=[50.0, 1.0, 1.0], policy_factory=factory, eps_greedy=0.0
+    )
+    scheduler.tune(num_measure_trials=200, num_measures_per_round=10)
+    assert scheduler.allocations[0] >= max(scheduler.allocations[1], scheduler.allocations[2])
+
+
+def test_objective_value_and_latency_reporting():
+    tasks = _make_tasks()
+    factory = _fake_factory([0.02, 0.03, 0.04])
+    scheduler = TaskScheduler(tasks, policy_factory=factory)
+    scheduler.tune(num_measure_trials=60, num_measures_per_round=10)
+    assert math.isfinite(scheduler.objective_value())
+    assert scheduler.dnn_latency(0) > 0
+    assert len(scheduler.records) == 6
+    assert scheduler.records[-1].total_trials == 60
+
+
+def test_records_track_selected_tasks():
+    tasks = _make_tasks()
+    factory = _fake_factory([0.02, 0.03, 0.04])
+    scheduler = TaskScheduler(tasks, policy_factory=factory)
+    scheduler.tune(num_measure_trials=50, num_measures_per_round=10)
+    selected = {r.selected_task for r in scheduler.records}
+    assert selected <= {0, 1, 2}
+
+
+def test_similar_tasks_grouping():
+    tasks = _make_tasks()
+    scheduler = TaskScheduler(tasks, policy_factory=_fake_factory([0.1] * 3))
+    # the two matmul+relu tasks share a signature; the plain matmul does not
+    assert 1 in scheduler.similar_tasks(0)
+    assert 2 not in scheduler.similar_tasks(0)
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        TaskScheduler(_make_tasks(), strategy="random")
+
+
+def test_empty_task_list_rejected():
+    with pytest.raises(ValueError):
+        TaskScheduler([])
+
+
+def test_multi_dnn_objective_with_geomean():
+    tasks = _make_tasks()
+    task_to_dnn = [0, 0, 1]
+    weights = [1.0, 1.0, 1.0]
+    objective = GeomeanSpeedup(weights, task_to_dnn, reference_latencies=[1.0, 1.0])
+    factory = _fake_factory([0.02, 0.03, 0.04])
+    scheduler = TaskScheduler(
+        tasks, task_weights=weights, task_to_dnn=task_to_dnn, objective=objective, policy_factory=factory
+    )
+    scheduler.tune(num_measure_trials=60, num_measures_per_round=10)
+    assert scheduler.objective_value() < 0  # a (negated) speedup
+
+
+def test_real_policies_integration_small():
+    """End-to-end with real SketchPolicies on tiny budgets."""
+    tasks = [
+        SearchTask(make_matmul_relu_dag(64, 64, 64), intel_cpu(), desc="mm64"),
+        SearchTask(make_norm_dag(4, 64, 64), intel_cpu(), desc="norm"),
+    ]
+    scheduler = TaskScheduler(tasks, seed=0)
+    best = scheduler.tune(num_measure_trials=24, num_measures_per_round=6)
+    assert len(best) == 2
+    assert all(math.isfinite(c) for c in best)
+    states = scheduler.best_states()
+    assert all(s is not None for s in states)

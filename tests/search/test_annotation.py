@@ -1,0 +1,115 @@
+"""Tests for random annotation: tile-size filling and loop annotations (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.search import (
+    FULL_SPACE,
+    annotate_state,
+    fill_tile_sizes,
+    generate_sketches,
+    random_factor_split,
+    sample_complete_program,
+    sample_initial_population,
+)
+from repro.search.space import SearchSpaceOptions
+from repro.hardware import intel_cpu
+from repro.task import SearchTask
+
+from ..conftest import make_matmul_relu_dag
+
+
+@pytest.fixture
+def task():
+    return SearchTask(make_matmul_relu_dag(), intel_cpu())
+
+
+@pytest.fixture
+def sketches(task):
+    return generate_sketches(task)
+
+
+def test_random_factor_split_divides_extent(rng):
+    for extent in (1, 7, 24, 64, 512):
+        lengths = random_factor_split(extent, 3, rng)
+        product = int(np.prod(lengths))
+        assert extent % product == 0
+
+
+def test_random_factor_split_respects_max_innermost(rng):
+    for _ in range(20):
+        lengths = random_factor_split(512, 3, rng, max_innermost=16)
+        assert lengths[-1] <= 16
+
+
+def test_fill_tile_sizes_makes_programs_concrete(task, sketches, rng):
+    tiled = [s for s in sketches if not s.is_concrete()]
+    assert tiled
+    filled = fill_tile_sizes(tiled[0], rng)
+    assert filled.is_concrete()
+
+
+def test_fill_tile_sizes_preserves_iteration_space(task, sketches, rng):
+    tiled = [s for s in sketches if not s.is_concrete()][0]
+    filled = fill_tile_sizes(tiled, rng)
+    name = "C.cache" if filled.has_stage("C.cache") else "C"
+    assert filled.stage(name).iteration_count() == 64 ** 3
+
+
+def test_annotation_adds_annotation_steps(task, sketches, rng):
+    state = fill_tile_sizes([s for s in sketches if not s.is_concrete()][0], rng)
+    before = len(state.transform_steps)
+    annotate_state(state, task, rng)
+    assert len(state.transform_steps) > before
+    kinds = {s.kind for s in state.transform_steps}
+    assert "annotate" in kinds
+
+
+def test_annotated_program_has_parallel_outer_loop(task, sketches, rng):
+    for _ in range(5):
+        state = sample_complete_program(task, sketches, rng)
+        annotations = [it.annotation for s in state.stages for it in s.iters]
+        if "parallel" in annotations:
+            return
+    pytest.fail("no sampled program had a parallel loop")
+
+
+def test_vectorize_only_on_spatial_innermost(task, sketches, rng):
+    for _ in range(10):
+        state = sample_complete_program(task, sketches, rng)
+        for stage in state.stages:
+            for idx, it in enumerate(stage.iters):
+                if it.annotation == "vectorize":
+                    assert it.is_spatial()
+
+
+def test_disable_annotations_through_options(task, sketches, rng):
+    options = SearchSpaceOptions(
+        enable_parallel=False, enable_vectorize=False, auto_unroll_candidates=(0,)
+    )
+    state = fill_tile_sizes([s for s in sketches if not s.is_concrete()][0], rng, options)
+    annotate_state(state, task, rng, options)
+    annotations = {it.annotation for s in state.stages for it in s.iters}
+    assert annotations == {"none"}
+
+
+def test_sample_initial_population_distinct_and_concrete(task, sketches, rng):
+    population = sample_initial_population(task, sketches, 16, rng)
+    assert len(population) >= 8
+    keys = {repr(s.serialize_steps()) for s in population}
+    assert len(keys) == len(population)
+    assert all(s.is_concrete() for s in population)
+
+
+def test_sampled_programs_are_measurable(task, sketches, rng, measurer):
+    from repro.hardware import MeasureInput
+
+    population = sample_initial_population(task, sketches, 8, rng)
+    results = measurer.measure([MeasureInput(task, s) for s in population])
+    assert all(r.valid for r in results)
+
+
+def test_sampling_is_deterministic_per_seed(task, sketches):
+    pop_a = sample_initial_population(task, sketches, 8, np.random.default_rng(42))
+    pop_b = sample_initial_population(task, sketches, 8, np.random.default_rng(42))
+    assert [repr(s.serialize_steps()) for s in pop_a] == [repr(s.serialize_steps()) for s in pop_b]

@@ -1,0 +1,102 @@
+"""Tests for sketch enumeration on representative DAGs."""
+
+import pytest
+
+from repro.hardware import intel_cpu
+from repro.search import FULL_SPACE, LIMITED_SPACE, generate_sketches
+from repro.task import SearchTask
+from repro.workloads import conv_layer, make_op_dag, single_op_shape_configs
+
+from ..conftest import make_matmul_dag, make_matmul_relu_dag, make_norm_dag
+
+
+def _task(dag):
+    return SearchTask(dag, intel_cpu())
+
+
+def test_matmul_relu_sketches(matmul_relu_dag):
+    sketches = generate_sketches(_task(matmul_relu_dag))
+    # naive (skip/skip), plain tiling, tiling+fusion
+    assert len(sketches) == 3
+    keys = {repr(s.serialize_steps()) for s in sketches}
+    assert len(keys) == len(sketches)  # de-duplicated
+
+
+def test_matmul_relu_contains_fused_sketch(matmul_relu_dag):
+    sketches = generate_sketches(_task(matmul_relu_dag))
+    fused = [
+        s
+        for s in sketches
+        if any(step.kind == "compute_at" for step in s.transform_steps)
+    ]
+    assert fused
+    state = fused[0]
+    assert state.stage("D").compute_location.kind == "at"
+
+
+def test_output_matmul_gets_cache_sketch(matmul_dag):
+    sketches = generate_sketches(_task(matmul_dag))
+    assert any(
+        any(step.kind == "cache_write" for step in s.transform_steps) for s in sketches
+    )
+
+
+def test_norm_gets_rfactor_sketch(norm_dag):
+    sketches = generate_sketches(_task(norm_dag))
+    assert any(
+        any(step.kind == "rfactor" for step in s.transform_steps) for s in sketches
+    )
+
+
+def test_limited_space_has_fewer_or_equal_sketches(matmul_dag):
+    full = generate_sketches(_task(matmul_dag), options=FULL_SPACE)
+    limited = generate_sketches(_task(matmul_dag), options=LIMITED_SPACE)
+    assert len(limited) <= len(full)
+    assert not any(
+        any(step.kind in ("cache_write", "rfactor") for step in s.transform_steps)
+        for s in limited
+    )
+
+
+def test_sketches_are_incomplete_programs(matmul_relu_dag):
+    sketches = generate_sketches(_task(matmul_relu_dag))
+    tiled = [s for s in sketches if s.transform_steps]
+    assert tiled
+    assert all(not s.is_concrete() for s in tiled)
+
+
+def test_sketches_preserve_iteration_space(matmul_relu_dag):
+    """Tile structures never lose or duplicate iterations (placeholders = 1)."""
+    sketches = generate_sketches(_task(matmul_relu_dag))
+    for sketch in sketches:
+        c_stage_name = "C.cache" if sketch.has_stage("C.cache") else "C"
+        assert sketch.stage(c_stage_name).iteration_count() == 64 ** 3
+
+
+def test_conv_layer_sketch_inlines_bn(intel_hardware):
+    dag = conv_layer(1, 16, 14, 14, 32, 3, 1, 1)
+    sketches = generate_sketches(SearchTask(dag, intel_hardware))
+    # The bn stage (intermediate elementwise) must be inlined in at least one
+    # sketch; the relu (output) must never be inlined.
+    assert any(
+        any(step.kind == "compute_inline" and step.stage_name == "bn" for step in s.transform_steps)
+        for s in sketches
+    )
+    assert not any(
+        any(step.kind == "compute_inline" and step.stage_name == "relu" for step in s.transform_steps)
+        for s in sketches
+    )
+
+
+@pytest.mark.parametrize("op_name", ["C1D", "C2D", "GMM", "DEP", "T2D", "NRM"])
+def test_every_operator_family_produces_sketches(op_name):
+    config = single_op_shape_configs()[op_name][0]
+    dag = make_op_dag(op_name, config, batch=1)
+    sketches = generate_sketches(SearchTask(dag, intel_cpu()))
+    assert 1 <= len(sketches) <= 32
+
+
+def test_sketch_count_is_small(matmul_relu_dag):
+    """The paper emphasises that sketches are 'a few basic structures'."""
+    sketches = generate_sketches(_task(matmul_relu_dag))
+    assert len(sketches) < 10

@@ -1,0 +1,220 @@
+"""Tests for the derivation rules of Table 1 and sketch generation (§4.1)."""
+
+import pytest
+
+from repro import te
+from repro.search import (
+    FULL_SPACE,
+    LIMITED_SPACE,
+    RuleAddCacheStage,
+    RuleAddRfactor,
+    RuleAlwaysInline,
+    RuleMultiLevelTiling,
+    RuleMultiLevelTilingWithFusion,
+    RuleSkip,
+    SketchContext,
+    default_sketch_rules,
+    generate_sketches,
+    register_sketch_rule,
+    registered_sketch_rules,
+)
+from repro.search.sketch_rules import SketchRule, fusion_level_index, multi_level_tiling, working_stage_name
+from repro.task import SearchTask
+from repro.hardware import intel_cpu
+from repro.te.dag import ComputeDAG
+
+from ..conftest import make_matmul_dag, make_matmul_relu_dag, make_norm_dag
+
+
+@pytest.fixture
+def relu_task():
+    return SearchTask(make_matmul_relu_dag(), intel_cpu())
+
+
+@pytest.fixture
+def ctx(relu_task):
+    return SketchContext(dag=relu_task.compute_dag, options=FULL_SPACE)
+
+
+def _node_index(dag, name):
+    return [op.name for op in dag.ops].index(name) + 1
+
+
+# ---------------------------------------------------------------------------
+# Individual rule conditions (Table 1)
+# ---------------------------------------------------------------------------
+
+
+def test_rule1_skip_applies_to_non_inlinable_nodes(ctx, relu_task):
+    state = relu_task.compute_dag.init_state()
+    i_c = _node_index(relu_task.compute_dag, "C")
+    assert RuleSkip().condition(state, i_c, ctx)
+
+
+def test_rule1_and_rule2_are_mutually_exclusive(ctx, relu_task):
+    state = relu_task.compute_dag.init_state()
+    for node_index in range(1, len(relu_task.compute_dag.ops) + 1):
+        skip = RuleSkip().condition(state, node_index, ctx)
+        inline = RuleAlwaysInline().condition(state, node_index, ctx)
+        assert skip != inline
+
+
+def test_rule2_does_not_inline_output_node(ctx, relu_task):
+    # D (relu) is elementwise but it is the DAG output -> not inlinable.
+    state = relu_task.compute_dag.init_state()
+    i_d = _node_index(relu_task.compute_dag, "D")
+    assert not RuleAlwaysInline().condition(state, i_d, ctx)
+
+
+def test_rule2_inlines_intermediate_elementwise():
+    A = te.placeholder((32, 32), name="A")
+    B = te.placeholder((32, 32), name="B")
+    k = te.reduce_axis(32, "k")
+    C = te.compute((32, 32), lambda i, j: te.sum_expr(A[i, k] * B[k, j], [k]), name="C")
+    bias = te.compute((32, 32), lambda i, j: C[i, j] + 1.0, name="bias")
+    relu = te.compute((32, 32), lambda i, j: te.Max(bias[i, j], te.const(0.0)), name="relu")
+    dag = ComputeDAG([relu])
+    task = SearchTask(dag, intel_cpu())
+    ctx = SketchContext(dag=dag)
+    state = dag.init_state()
+    assert RuleAlwaysInline().condition(state, _node_index(dag, "bias"), ctx)
+    new_state, new_index = RuleAlwaysInline().apply(state, _node_index(dag, "bias"), ctx)[0]
+    assert new_state.stage("bias").is_inlined()
+    assert new_index == _node_index(dag, "bias") - 1
+
+
+def test_rule3_condition_data_reuse(ctx, relu_task):
+    state = relu_task.compute_dag.init_state()
+    assert RuleMultiLevelTiling().condition(state, _node_index(relu_task.compute_dag, "C"), ctx)
+    assert not RuleMultiLevelTiling().condition(state, _node_index(relu_task.compute_dag, "D"), ctx)
+
+
+def test_rule4_condition_requires_fusible_consumer(ctx, relu_task):
+    state = relu_task.compute_dag.init_state()
+    assert RuleMultiLevelTilingWithFusion().condition(
+        state, _node_index(relu_task.compute_dag, "C"), ctx
+    )
+
+
+def test_rule4_application_tiles_and_fuses(ctx, relu_task):
+    dag = relu_task.compute_dag
+    state = dag.init_state()
+    i_c = _node_index(dag, "C")
+    (new_state, new_index), = RuleMultiLevelTilingWithFusion().apply(state, i_c, ctx)
+    assert new_index == i_c - 1
+    # SSRSRS: 2 spatial axes x 4 + 1 reduction x 2 = 10 loops
+    assert len(new_state.stage("C").iters) == 10
+    loc = new_state.stage("D").compute_location
+    assert loc.kind == "at" and loc.target_stage == "C"
+    assert loc.target_iter == fusion_level_index(2)
+
+
+def test_rule5_condition_only_without_fusible_consumer():
+    dag = make_matmul_dag()  # output matmul, no consumer
+    ctx = SketchContext(dag=dag)
+    state = dag.init_state()
+    i_c = _node_index(dag, "C")
+    assert RuleAddCacheStage().condition(state, i_c, ctx)
+    (new_state, new_index), = RuleAddCacheStage().apply(state, i_c, ctx)
+    assert new_index == i_c  # the working node index does not decrease
+    assert new_state.has_stage("C.cache")
+    # After adding the cache stage, rule 4 becomes applicable (the copy stage
+    # is now a fusible consumer).
+    assert RuleMultiLevelTilingWithFusion().condition(new_state, i_c, ctx)
+
+
+def test_rule5_not_applicable_when_fusible_consumer_exists(ctx, relu_task):
+    state = relu_task.compute_dag.init_state()
+    assert not RuleAddCacheStage().condition(state, _node_index(relu_task.compute_dag, "C"), ctx)
+
+
+def test_rule6_condition_and_application(norm_dag):
+    ctx = SketchContext(dag=norm_dag)
+    state = norm_dag.init_state()
+    i_s = _node_index(norm_dag, "S")
+    assert RuleAddRfactor().condition(state, i_s, ctx)
+    (new_state, new_index), = RuleAddRfactor().apply(state, i_s, ctx)
+    assert new_state.has_stage("S.rf")
+    assert new_index == i_s - 1
+
+
+def test_rule6_not_applicable_to_large_spatial(ctx, relu_task):
+    state = relu_task.compute_dag.init_state()
+    assert not RuleAddRfactor().condition(state, _node_index(relu_task.compute_dag, "C"), ctx)
+
+
+def test_rules_respect_space_options(relu_task):
+    ctx = SketchContext(dag=relu_task.compute_dag, options=LIMITED_SPACE)
+    state = relu_task.compute_dag.init_state()
+    i_c = _node_index(relu_task.compute_dag, "C")
+    assert not RuleAddCacheStage().condition(state, i_c, ctx)
+    assert not RuleAddRfactor().condition(state, i_c, ctx)
+
+
+# ---------------------------------------------------------------------------
+# multi_level_tiling helper
+# ---------------------------------------------------------------------------
+
+
+def test_multi_level_tiling_structure(relu_task):
+    state = relu_task.compute_dag.init_state()
+    multi_level_tiling(state, "C", spatial_levels=4, reduction_levels=2)
+    names = [it.name for it in state.stage("C").iters]
+    # SSRSRS ordering: i.0 j.0 i.1 j.1 rk.0 i.2 j.2 rk.1 i.3 j.3
+    assert names == [
+        "C_i.0", "C_j.0", "C_i.1", "C_j.1", "rk.0", "C_i.2", "C_j.2", "rk.1", "C_i.3", "C_j.3",
+    ]
+    kinds = [it.kind for it in state.stage("C").iters]
+    assert kinds.count("reduce") == 2
+
+
+def test_multi_level_tiling_is_placeholder(relu_task):
+    state = relu_task.compute_dag.init_state()
+    multi_level_tiling(state, "C")
+    assert not state.is_concrete()
+    # iteration space is preserved when placeholders default to 1
+    assert state.stage("C").iteration_count() == 64 ** 3
+
+
+def test_working_stage_name_prefers_cache(relu_task):
+    state = relu_task.compute_dag.init_state()
+    assert working_stage_name(state, "C") == "C"
+    state.cache_write("C")
+    assert working_stage_name(state, "C") == "C.cache"
+
+
+# ---------------------------------------------------------------------------
+# User defined rules
+# ---------------------------------------------------------------------------
+
+
+def test_user_rule_registration_and_use(relu_task):
+    class MarkerRule(SketchRule):
+        name = "marker"
+        applied = 0
+
+        def condition(self, state, node_index, ctx):
+            op = ctx.op_at(node_index)
+            return op.name == "C"
+
+        def apply(self, state, node_index, ctx):
+            MarkerRule.applied += 1
+            new_state = state.copy()
+            new_state.pragma("C", "auto_unroll_max_step", 16)
+            return [(new_state, node_index - 1)]
+
+    rule = MarkerRule()
+    register_sketch_rule(rule)
+    try:
+        assert rule in registered_sketch_rules()
+        assert rule in default_sketch_rules()
+        sketches = generate_sketches(relu_task)
+        assert MarkerRule.applied > 0
+        assert any(
+            any(s.kind == "pragma" for s in sketch.transform_steps) for sketch in sketches
+        )
+    finally:
+        registered_sketch_rules().clear()
+        from repro.search import sketch_rules as sr
+
+        sr._USER_RULES.clear()

@@ -1,0 +1,111 @@
+"""Tests for the static-analysis predicates used by the derivation rules."""
+
+import pytest
+
+from repro import te
+from repro.te import analysis
+from repro.te.dag import ComputeDAG
+
+from ..conftest import make_matmul_relu_dag, make_norm_dag
+
+
+def _op(dag, name):
+    return next(op for op in dag.ops if op.name == name)
+
+
+def test_matmul_has_data_reuse(matmul_relu_dag):
+    assert analysis.has_data_reuse(_op(matmul_relu_dag, "C"))
+
+
+def test_relu_is_strictly_inlinable(matmul_relu_dag):
+    assert analysis.is_strict_inlinable(_op(matmul_relu_dag, "D"))
+
+
+def test_placeholder_is_not_inlinable(matmul_relu_dag):
+    assert not analysis.is_strict_inlinable(_op(matmul_relu_dag, "A"))
+
+
+def test_reduction_op_is_not_inlinable(matmul_relu_dag):
+    assert not analysis.is_strict_inlinable(_op(matmul_relu_dag, "C"))
+
+
+def test_elementwise_has_no_data_reuse(matmul_relu_dag):
+    assert not analysis.has_data_reuse(_op(matmul_relu_dag, "D"))
+
+
+def test_has_fusible_consumer_for_matmul_relu(matmul_relu_dag):
+    assert analysis.has_fusible_consumer(matmul_relu_dag, _op(matmul_relu_dag, "C"))
+
+
+def test_output_has_no_fusible_consumer(matmul_relu_dag):
+    assert not analysis.has_fusible_consumer(matmul_relu_dag, _op(matmul_relu_dag, "D"))
+
+
+def test_fusible_consumer_requires_matching_shape():
+    A = te.placeholder((8, 8), name="A")
+    B = te.placeholder((8, 8), name="B")
+    k = te.reduce_axis(8, "k")
+    C = te.compute((8, 8), lambda i, j: te.sum_expr(A[i, k] * B[k, j], [k]), name="C")
+    # consumer reduces the output again -> different shape, not fusible
+    r = te.reduce_axis(8, "r")
+    D = te.compute((8,), lambda i: te.sum_expr(C[i, r], [r]), name="D")
+    dag = ComputeDAG([D])
+    assert not analysis.has_fusible_consumer(dag, _op(dag, "C"))
+
+
+def test_fusible_consumer_requires_single_consumer():
+    A = te.placeholder((8, 8), name="A")
+    B = te.placeholder((8, 8), name="B")
+    k = te.reduce_axis(8, "k")
+    C = te.compute((8, 8), lambda i, j: te.sum_expr(A[i, k] * B[k, j], [k]), name="C")
+    D = te.compute((8, 8), lambda i, j: C[i, j] + 1.0, name="D")
+    E = te.compute((8, 8), lambda i, j: C[i, j] * 2.0, name="E")
+    F = te.compute((8, 8), lambda i, j: D[i, j] + E[i, j], name="F")
+    dag = ComputeDAG([F])
+    assert not analysis.has_fusible_consumer(dag, _op(dag, "C"))
+
+
+def test_norm_reduction_has_more_reduction_parallel(norm_dag):
+    assert analysis.has_more_reduction_parallel(_op(norm_dag, "S"))
+
+
+def test_matmul_does_not_need_rfactor(matmul_relu_dag):
+    assert not analysis.has_more_reduction_parallel(_op(matmul_relu_dag, "C"))
+
+
+def test_tall_thin_matmul_needs_rfactor():
+    # C[2, 2] = A[2, 512] * B[512, 2]: the example from §4.1
+    A = te.placeholder((2, 512), name="A")
+    B = te.placeholder((512, 2), name="B")
+    k = te.reduce_axis(512, "k")
+    C = te.compute((2, 2), lambda i, j: te.sum_expr(A[i, k] * B[k, j], [k]), name="C")
+    dag = ComputeDAG([C])
+    assert analysis.has_more_reduction_parallel(_op(dag, "C"))
+
+
+def test_reuse_ratio_matmul_large():
+    A = te.placeholder((64, 64), name="A")
+    B = te.placeholder((64, 64), name="B")
+    k = te.reduce_axis(64, "k")
+    C = te.compute((64, 64), lambda i, j: te.sum_expr(A[i, k] * B[k, j], [k]), name="C")
+    op = C.op
+    assert analysis.reuse_ratio(op) == pytest.approx(64 ** 3 / (2 * 64 * 64))
+
+
+def test_access_is_injective_for_elementwise():
+    A = te.placeholder((8, 8), name="A")
+    B = te.compute((8, 8), lambda i, j: A[i, j] + 1.0, name="B")
+    assert analysis.access_is_injective(B.op)
+
+
+def test_access_is_not_injective_for_broadcast_of_other_vars():
+    A = te.placeholder((8, 8), name="A")
+    k = te.reduce_axis(8, "k")
+    B = te.compute((8,), lambda i: te.sum_expr(A[i, k], [k]), name="B")
+    assert not analysis.access_is_injective(B.op)
+
+
+def test_no_inline_attr_respected():
+    A = te.placeholder((8, 8), name="A")
+    B = te.compute((8, 8), lambda i, j: A[i, j] + 1.0, name="B", attrs={"no_inline": True})
+    assert not analysis.is_strict_inlinable(B.op)

@@ -1,0 +1,104 @@
+"""Tests for the computation DAG: ordering, relations and FLOP counting."""
+
+import pytest
+
+from repro import te
+from repro.te.dag import ComputeDAG
+from repro.te.operation import ComputeOp, PlaceholderOp
+
+from ..conftest import make_matmul_dag, make_matmul_relu_dag
+
+
+def test_topological_order_inputs_before_outputs(matmul_relu_dag):
+    names = [op.name for op in matmul_relu_dag.ops]
+    assert names.index("A") < names.index("C")
+    assert names.index("B") < names.index("C")
+    assert names.index("C") < names.index("D")
+
+
+def test_compute_and_placeholder_partition(matmul_relu_dag):
+    placeholders = matmul_relu_dag.placeholder_ops
+    computes = matmul_relu_dag.compute_ops
+    assert {op.name for op in placeholders} == {"A", "B"}
+    assert {op.name for op in computes} == {"C", "D"}
+
+
+def test_consumers_and_producers(matmul_relu_dag):
+    c_op = next(op for op in matmul_relu_dag.ops if op.name == "C")
+    d_op = next(op for op in matmul_relu_dag.ops if op.name == "D")
+    assert matmul_relu_dag.consumers(c_op) == [d_op]
+    assert c_op in matmul_relu_dag.producers(d_op)
+    assert matmul_relu_dag.consumers(d_op) == []
+
+
+def test_is_output(matmul_relu_dag):
+    c_op = next(op for op in matmul_relu_dag.ops if op.name == "C")
+    d_op = next(op for op in matmul_relu_dag.ops if op.name == "D")
+    assert matmul_relu_dag.is_output(d_op)
+    assert not matmul_relu_dag.is_output(c_op)
+
+
+def test_flop_count_matmul():
+    dag = make_matmul_dag(16, 16, 16)
+    # 2 flops per multiply-accumulate * 16^3 iterations
+    assert dag.flop_count() == 2 * 16 ** 3
+
+
+def test_flop_count_matmul_relu_adds_elementwise():
+    dag = make_matmul_relu_dag(16, 16, 16)
+    assert dag.flop_count() == 2 * 16 ** 3 + 16 * 16
+
+
+def test_total_bytes(matmul_dag):
+    # A, B and C are all 64x64 float32.
+    assert matmul_dag.total_bytes() == 3 * 64 * 64 * 4
+
+
+def test_workload_key_stable_and_shape_sensitive():
+    key_a = make_matmul_dag(32, 32, 32).workload_key()
+    key_b = make_matmul_dag(32, 32, 32).workload_key()
+    key_c = make_matmul_dag(64, 32, 32).workload_key()
+    assert key_a == key_b
+    assert key_a != key_c
+
+
+def test_init_state_one_stage_per_op(matmul_relu_dag):
+    state = matmul_relu_dag.init_state()
+    assert [s.name for s in state.stages] == [op.name for op in matmul_relu_dag.ops]
+
+
+def test_replay_steps_round_trip(matmul_relu_dag):
+    state = matmul_relu_dag.init_state()
+    state.split("C", 0, [8])
+    state.parallel("C", 0)
+    replayed = matmul_relu_dag.replay_steps(state.transform_steps)
+    assert replayed.print_program() == state.print_program()
+
+
+def test_pretty_print_mentions_all_ops(matmul_relu_dag):
+    text = matmul_relu_dag.pretty_print()
+    for name in ("A", "B", "C", "D"):
+        assert name in text
+
+
+def test_empty_outputs_rejected():
+    with pytest.raises(ValueError):
+        ComputeDAG([])
+
+
+def test_single_tensor_accepted_without_list():
+    A = te.placeholder((4, 4), name="A")
+    B = te.compute((4, 4), lambda i, j: A[i, j] + 1.0, name="B")
+    dag = ComputeDAG(B)
+    assert len(dag.ops) == 2
+
+
+def test_operation_queries():
+    dag = make_matmul_dag(8, 8, 8)
+    c_op = dag.compute_ops[0]
+    assert isinstance(c_op, ComputeOp)
+    assert c_op.has_reduction()
+    assert c_op.iteration_count() == 8 ** 3
+    assert c_op.output_bytes() == 8 * 8 * 4
+    assert c_op.input_bytes() == 2 * 8 * 8 * 4
+    assert len(c_op.reads()) == 2

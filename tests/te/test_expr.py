@@ -1,0 +1,145 @@
+"""Tests for the expression AST and its analysis helpers."""
+
+import pytest
+
+from repro.te import expr as E
+
+
+def test_wrap_int_and_float():
+    assert isinstance(E.const(3), E.IntImm)
+    assert isinstance(E.const(3.5), E.FloatImm)
+    assert E.const(3).value == 3
+    assert E.const(3.5).value == 3.5
+
+
+def test_wrap_bool_becomes_int():
+    assert isinstance(E.const(True), E.IntImm)
+    assert E.const(True).value == 1
+
+
+def test_wrap_rejects_strings():
+    with pytest.raises(TypeError):
+        E.const("hello")
+
+
+def test_binary_operator_overloads_build_nodes():
+    a, b = E.Var("a"), E.Var("b")
+    assert isinstance(a + b, E.Add)
+    assert isinstance(a - b, E.Sub)
+    assert isinstance(a * b, E.Mul)
+    assert isinstance(a / b, E.Div)
+    assert isinstance(a // b, E.FloorDiv)
+    assert isinstance(a % b, E.Mod)
+
+
+def test_reflected_operators_with_constants():
+    a = E.Var("a")
+    node = 2 * a
+    assert isinstance(node, E.Mul)
+    assert isinstance(node.a, E.IntImm)
+    node = 1 + a
+    assert isinstance(node, E.Add)
+
+
+def test_comparison_operators():
+    a, b = E.Var("a"), E.Var("b")
+    for node, op in [(a < b, "<"), (a <= b, "<="), (a > b, ">"), (a >= b, ">=")]:
+        assert isinstance(node, E.Compare)
+        assert node.op == op
+    assert a.equal(b).op == "=="
+    assert a.not_equal(b).op == "!="
+
+
+def test_compare_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        E.Compare("<>", E.Var("a"), E.Var("b"))
+
+
+def test_negation_builds_subtraction_from_zero():
+    a = E.Var("a")
+    node = -a
+    assert isinstance(node, E.Sub)
+    assert isinstance(node.a, E.FloatImm)
+    assert node.a.value == 0.0
+
+
+def test_call_and_select_children():
+    a = E.Var("a")
+    call = E.Call("exp", [a])
+    assert call.children() == (a,)
+    select = E.Select(a > 0, a, 0.0)
+    assert len(select.children()) == 3
+
+
+def test_reduce_requires_known_combiner():
+    with pytest.raises(ValueError):
+        E.Reduce("prod", E.Var("x"), [])
+
+
+def test_reduce_default_init_values():
+    assert E.Reduce("sum", E.Var("x"), []).init == 0.0
+    assert E.Reduce("max", E.Var("x"), []).init == float("-inf")
+    assert E.Reduce("min", E.Var("x"), []).init == float("inf")
+
+
+def test_post_order_visit_covers_all_nodes():
+    a, b, c = E.Var("a"), E.Var("b"), E.Var("c")
+    tree = (a + b) * c
+    visited = []
+    E.post_order_visit(tree, lambda node: visited.append(type(node).__name__))
+    assert visited == ["Var", "Var", "Add", "Var", "Mul"]
+
+
+def test_collect_vars_deduplicates():
+    a, b = E.Var("a"), E.Var("b")
+    tree = a * b + a
+    found = E.collect_vars(tree)
+    assert found == [a, b]
+
+
+def test_collect_reads_finds_tensor_reads():
+    from repro import te
+
+    A = te.placeholder((4, 4), name="A")
+    a_read = A[E.Var("i"), E.Var("j")]
+    tree = a_read * 2.0 + 1.0
+    reads = E.collect_reads(tree)
+    assert len(reads) == 1
+    assert reads[0].tensor.name == "A"
+
+
+def test_substitute_replaces_variables():
+    a, b = E.Var("a"), E.Var("b")
+    tree = a + b * a
+    replaced = E.substitute(tree, {a: E.IntImm(5)})
+    text = str(replaced)
+    assert "a" not in text
+    assert "5" in text and "b" in text
+
+
+def test_substitute_inside_select_and_call():
+    a = E.Var("a")
+    tree = E.Select(a > 0, E.Call("exp", [a]), 0.0)
+    replaced = E.substitute(tree, {a: E.IntImm(2)})
+    assert "a" not in str(replaced)
+
+
+def test_count_flop_basic_arithmetic():
+    a, b = E.Var("a"), E.Var("b")
+    assert E.count_flop(a + b) == 1
+    assert E.count_flop(a * b + a) == 2
+    assert E.count_flop(E.Call("exp", [a])) == 1
+
+
+def test_count_flop_counts_reduction_accumulate():
+    a, b = E.Var("a"), E.Var("b")
+    reduce_node = E.Reduce("sum", a * b, [])
+    # one multiply plus one accumulate
+    assert E.count_flop(reduce_node) == 2
+
+
+def test_string_rendering_is_reasonable():
+    a, b = E.Var("a"), E.Var("b")
+    assert str(a + b) == "(a + b)"
+    assert str(E.Max(a, b)) == "max(a, b)"
+    assert "select" in str(E.Select(a > b, a, b))

@@ -1,0 +1,109 @@
+"""Tests for tensors, iteration variables and the compute front end."""
+
+import pytest
+
+from repro import te
+from repro.te.expr import Add, Mul, Reduce, TensorRead, Var
+from repro.te.tensor import IterVar
+
+
+def test_placeholder_shape_and_name():
+    A = te.placeholder((3, 4), name="A")
+    assert A.shape == (3, 4)
+    assert A.name == "A"
+    assert A.ndim == 2
+    assert A.size() == 12
+
+
+def test_placeholder_gets_generated_name_when_missing():
+    A = te.placeholder((2, 2))
+    assert A.name
+
+
+def test_tensor_indexing_builds_tensor_read():
+    A = te.placeholder((4, 4), name="A")
+    i, j = Var("i"), Var("j")
+    read = A[i, j]
+    assert isinstance(read, TensorRead)
+    assert read.tensor is A
+    assert len(read.indices) == 2
+
+
+def test_tensor_indexing_accepts_constants_and_itervars():
+    A = te.placeholder((4, 4), name="A")
+    axis = IterVar("i", 4)
+    read = A[axis, 2]
+    assert isinstance(read, TensorRead)
+
+
+def test_tensor_indexing_wrong_arity_raises():
+    A = te.placeholder((4, 4), name="A")
+    with pytest.raises(ValueError):
+        A[Var("i")]
+
+
+def test_iter_var_requires_positive_extent():
+    with pytest.raises(ValueError):
+        IterVar("i", 0)
+
+
+def test_iter_var_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        IterVar("i", 4, "diagonal")
+
+
+def test_iter_var_arithmetic_builds_expressions():
+    i = IterVar("i", 8)
+    assert isinstance(i * 2, Mul)
+    assert isinstance(i + 1, Add)
+    assert isinstance(1 + i, Add)
+    assert isinstance(i - 1, type(i.var - 1))
+
+
+def test_compute_elementwise():
+    A = te.placeholder((4, 4), name="A")
+    B = te.compute((4, 4), lambda i, j: A[i, j] * 2.0, name="B")
+    assert B.shape == (4, 4)
+    op = B.op
+    assert len(op.axes) == 2
+    assert op.reduce_axes == []
+
+
+def test_compute_with_reduction_extracts_axes():
+    A = te.placeholder((4, 8), name="A")
+    B = te.placeholder((8, 4), name="B")
+    k = te.reduce_axis(8, "k")
+    C = te.compute((4, 4), lambda i, j: te.sum_expr(A[i, k] * B[k, j], [k]), name="C")
+    assert C.op.reduce_axes == [k]
+    assert isinstance(C.op.body, Reduce)
+
+
+def test_compute_axis_extents_match_shape():
+    A = te.placeholder((4, 4), name="A")
+    B = te.compute((2, 8), lambda i, j: A[i % 4, j % 4], name="B")
+    assert [ax.extent for ax in B.op.axes] == [2, 8]
+
+
+def test_compute_constant_body_is_wrapped():
+    B = te.compute((2, 2), lambda i, j: 1.0, name="B")
+    assert B.op.body is not None
+
+
+def test_reduce_axis_kind():
+    k = te.reduce_axis(16, "k")
+    assert k.kind == IterVar.REDUCE
+    assert k.extent == 16
+
+
+def test_max_min_expr_require_axes():
+    with pytest.raises(ValueError):
+        te.max_expr(Var("x"))
+    with pytest.raises(ValueError):
+        te.min_expr(Var("x"))
+
+
+def test_max_expr_with_axes_builds_reduce():
+    k = te.reduce_axis(4, "k")
+    node = te.max_expr(Var("x"), [k])
+    assert isinstance(node, Reduce)
+    assert node.combiner == "max"

@@ -1,0 +1,68 @@
+"""Tests for the top-level auto_schedule API."""
+
+import math
+
+import pytest
+
+from repro import SearchTask, TuningOptions, auto_schedule, auto_schedule_networks, intel_cpu
+from repro.hardware import CostSimulator
+from repro.records import load_records
+from repro.scheduler import TaskScheduler
+
+from .conftest import make_matmul_relu_dag
+
+
+@pytest.fixture
+def task():
+    return SearchTask(make_matmul_relu_dag(128, 128, 128), intel_cpu(), desc="mm128")
+
+
+def test_auto_schedule_returns_state_and_cost(task):
+    state, cost = auto_schedule(task, TuningOptions(num_measure_trials=16, num_measures_per_round=8))
+    assert state is not None
+    assert math.isfinite(cost) and cost > 0
+
+
+def test_auto_schedule_beats_naive(task):
+    state, cost = auto_schedule(task, TuningOptions(num_measure_trials=24, num_measures_per_round=8))
+    naive = CostSimulator(task.hardware_params).estimate(task.compute_dag.init_state())
+    assert cost < naive
+
+
+def test_auto_schedule_writes_log(tmp_path, task):
+    log = tmp_path / "log.json"
+    auto_schedule(
+        task,
+        TuningOptions(num_measure_trials=16, num_measures_per_round=8),
+        log_file=str(log),
+    )
+    records = load_records(log)
+    assert len(records) == 16
+
+
+def test_auto_schedule_networks_small():
+    result = auto_schedule_networks(
+        ["dcgan"],
+        batch=1,
+        num_measure_trials=18,
+        num_measures_per_round=6,
+        max_tasks_per_network=3,
+        seed=0,
+    )
+    assert isinstance(result["scheduler"], TaskScheduler)
+    assert len(result["tasks"]) == 3
+    assert result["network_latencies"]["dcgan"] > 0
+    assert len(result["best_costs"]) == 3
+
+
+def test_auto_schedule_networks_multiple_dnns():
+    result = auto_schedule_networks(
+        ["dcgan", "bert"],
+        batch=1,
+        num_measure_trials=24,
+        num_measures_per_round=6,
+        max_tasks_per_network=2,
+        seed=0,
+    )
+    assert set(result["network_latencies"]) == {"dcgan", "bert"}
+    assert all(v > 0 for v in result["network_latencies"].values())

@@ -1,0 +1,107 @@
+"""Tests for tuning-log records."""
+
+import numpy as np
+import pytest
+
+from repro import apply_history_best, load_records, save_records
+from repro.hardware import CostSimulator, MeasureInput, ProgramMeasurer, intel_cpu
+from repro.records import TuningRecord, best_record
+from repro.search import generate_sketches, sample_initial_population
+from repro.task import SearchTask
+
+from .conftest import make_matmul_relu_dag
+
+
+@pytest.fixture
+def task():
+    return SearchTask(make_matmul_relu_dag(), intel_cpu(), desc="mm64")
+
+
+@pytest.fixture
+def measured(task, rng, measurer):
+    sketches = generate_sketches(task)
+    states = sample_initial_population(task, sketches, 6, rng)
+    inputs = [MeasureInput(task, s) for s in states]
+    results = measurer.measure(inputs)
+    return inputs, results
+
+
+def test_round_trip_through_file(tmp_path, task, measured):
+    inputs, results = measured
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    records = load_records(log)
+    assert len(records) == len(inputs)
+    assert all(r.workload_key == task.workload_key for r in records)
+    assert all(r.valid for r in records)
+
+
+def test_append_mode(tmp_path, task, measured):
+    inputs, results = measured
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs[:3], results[:3])
+    save_records(log, inputs[3:], results[3:])
+    assert len(load_records(log)) == len(inputs)
+
+
+def test_overwrite_mode(tmp_path, task, measured):
+    inputs, results = measured
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    save_records(log, inputs[:2], results[:2], append=False)
+    assert len(load_records(log)) == 2
+
+
+def test_corrupt_lines_are_skipped(tmp_path, task, measured):
+    inputs, results = measured
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    with open(log, "a") as f:
+        f.write("this is not json\n")
+        f.write('{"missing": "fields"}\n')
+    assert len(load_records(log)) == len(inputs)
+
+
+def test_best_record_and_apply_history_best(tmp_path, task, measured):
+    inputs, results = measured
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    best = best_record(log, task.workload_key)
+    assert best is not None
+    expected_cost = min(r.min_cost for r in results if r.valid)
+    assert best.best_cost == pytest.approx(expected_cost)
+
+    state = apply_history_best(task, log)
+    assert state is not None
+    # Re-estimating the rebuilt program gives (noise-free) a cost close to
+    # the logged one.
+    simulated = CostSimulator(task.hardware_params).estimate(state)
+    assert simulated == pytest.approx(expected_cost, rel=0.2)
+
+
+def test_best_record_unknown_workload(tmp_path, task, measured):
+    inputs, results = measured
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    assert best_record(log, "unknown") is None
+    assert apply_history_best(SearchTask(make_matmul_relu_dag(32, 32, 32), intel_cpu()), log) is None
+
+
+def test_record_to_state_reproduces_program(task, measured):
+    inputs, results = measured
+    record = TuningRecord.from_measurement(inputs[0], results[0])
+    rebuilt = record.to_state(task)
+    assert rebuilt.print_program() == inputs[0].state.print_program()
+
+
+def test_invalid_measurement_recorded_as_error(tmp_path, task):
+    state = task.compute_dag.init_state()
+    state.split("C", 0, [None])
+    measurer = ProgramMeasurer(task.hardware_params)
+    inputs = [MeasureInput(task, state)]
+    results = measurer.measure(inputs)
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    records = load_records(log)
+    assert not records[0].valid
+    assert records[0].best_cost == float("inf")

@@ -1,0 +1,77 @@
+"""Tests for the network task suites and task extraction."""
+
+import pytest
+
+from repro.hardware import arm_cpu, intel_cpu
+from repro.workloads import NETWORK_NAMES, extract_tasks, get_network_tasks
+
+
+def test_all_five_networks_are_defined():
+    assert set(NETWORK_NAMES) == {"resnet-50", "mobilenet-v2", "resnet3d-18", "dcgan", "bert"}
+
+
+@pytest.mark.parametrize("name", NETWORK_NAMES)
+def test_network_tasks_have_positive_weights_and_flops(name):
+    tasks = get_network_tasks(name, batch=1)
+    assert len(tasks) >= 5
+    for task in tasks:
+        assert task.weight >= 1
+        assert task.dag.flop_count() > 0
+        assert task.desc
+
+
+def test_unknown_network_rejected():
+    with pytest.raises(ValueError):
+        get_network_tasks("alexnet")
+
+
+def test_resnet50_task_count_close_to_paper():
+    """§6: ResNet-50 has 29 unique subgraphs among its conv layers."""
+    tasks = get_network_tasks("resnet-50", batch=1)
+    assert 15 <= len(tasks) <= 35
+
+
+def test_resnet50_weights_cover_all_conv_layers():
+    tasks = get_network_tasks("resnet-50", batch=1)
+    conv_instances = sum(t.weight for t in tasks if "conv" in t.desc)
+    # ResNet-50 has 53 convolutions (including downsample projections).
+    assert 45 <= conv_instances <= 60
+
+
+def test_bert_dominated_by_matmuls():
+    tasks = get_network_tasks("bert", batch=1)
+    flops = sum(t.dag.flop_count() * t.weight for t in tasks)
+    dense_flops = sum(
+        t.dag.flop_count() * t.weight for t in tasks if "768" in t.desc or "3072" in t.desc
+    )
+    assert dense_flops / flops > 0.5
+
+
+def test_batch_increases_total_flops():
+    one = sum(t.dag.flop_count() * t.weight for t in get_network_tasks("mobilenet-v2", 1))
+    sixteen = sum(t.dag.flop_count() * t.weight for t in get_network_tasks("mobilenet-v2", 16))
+    assert sixteen == pytest.approx(16 * one, rel=0.01)
+
+
+def test_extract_tasks_single_network():
+    tasks, weights, task_to_dnn = extract_tasks(["dcgan"], batch=1)
+    assert len(tasks) == len(weights) == len(task_to_dnn)
+    assert set(task_to_dnn) == {0}
+    assert all(t.hardware_params.name == intel_cpu().name for t in tasks)
+
+
+def test_extract_tasks_multiple_networks_and_hardware():
+    tasks, weights, task_to_dnn = extract_tasks(
+        ["dcgan", "bert"], batch=1, hardware=arm_cpu()
+    )
+    assert set(task_to_dnn) == {0, 1}
+    assert all(t.hardware_params.kind == "cpu" for t in tasks)
+    assert all(t.hardware_params.name == arm_cpu().name for t in tasks)
+
+
+def test_extract_tasks_max_tasks_keeps_heaviest():
+    full_tasks, full_weights, _ = extract_tasks(["resnet-50"], batch=1)
+    small_tasks, small_weights, _ = extract_tasks(["resnet-50"], batch=1, max_tasks_per_network=5)
+    assert len(small_tasks) == 5
+    heaviest = max(t.flop_count() * w for t, w in zip(full_tasks, full_weights))
+    assert any(t.flop_count() * w == heaviest for t, w in zip(small_tasks, small_weights))

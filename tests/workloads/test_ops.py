@@ -1,0 +1,105 @@
+"""Tests for the single-operator workload definitions."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import execute_dag
+from repro.workloads import (
+    OP_NAMES,
+    batch_matmul,
+    capsule_conv2d,
+    conv2d,
+    conv3d,
+    dilated_conv2d,
+    group_conv2d,
+    make_op_dag,
+    matmul,
+    single_op_shape_configs,
+)
+
+
+def test_all_ten_operators_are_defined():
+    assert len(OP_NAMES) == 10
+    configs = single_op_shape_configs()
+    assert set(configs) == set(OP_NAMES)
+
+
+def test_four_shape_configs_per_operator():
+    for name, configs in single_op_shape_configs().items():
+        assert len(configs) == 4, name
+
+
+@pytest.mark.parametrize("op_name", OP_NAMES)
+@pytest.mark.parametrize("batch", [1, 16])
+def test_every_test_case_builds_a_dag(op_name, batch):
+    config = single_op_shape_configs()[op_name][0]
+    dag = make_op_dag(op_name, config, batch=batch)
+    assert dag.flop_count() > 0
+    assert len(dag.compute_ops) >= 1
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(ValueError):
+        make_op_dag("FFT", {}, 1)
+
+
+def test_batch_scales_flops_linearly():
+    config = single_op_shape_configs()["C2D"][0]
+    flops_1 = make_op_dag("C2D", config, batch=1).flop_count()
+    flops_16 = make_op_dag("C2D", config, batch=16).flop_count()
+    assert flops_16 == 16 * flops_1
+
+
+def test_matmul_flop_count_formula():
+    assert matmul(32, 48, 64).flop_count() == 2 * 32 * 48 * 64
+
+
+def test_batch_matmul_output_shape():
+    dag = batch_matmul(4, 8, 16, 32)
+    assert dag.outputs[0].shape == (4, 8, 16)
+
+
+def test_conv2d_output_shape_stride_two():
+    dag = conv2d(1, 8, 32, 32, 16, 3, 2, 1)
+    assert dag.outputs[0].shape == (1, 16, 16, 16)
+
+
+def test_dilated_conv_keeps_resolution_with_matching_pad():
+    dag = dilated_conv2d(1, 8, 32, 32, 8, 3, 1, 2, dilation=2)
+    assert dag.outputs[0].shape == (1, 8, 32, 32)
+
+
+def test_group_conv_matches_grouped_numpy_reference():
+    groups = 2
+    dag = group_conv2d(1, 4, 5, 5, 4, 3, 1, 1, groups)
+    data = np.random.randn(1, 4, 5, 5)
+    weight = np.random.randn(4, 2, 3, 3)
+    out = execute_dag(dag, {"data": data, "weight": weight})["group_conv2d"]
+    padded = np.zeros((1, 4, 7, 7))
+    padded[:, :, 1:6, 1:6] = data
+    ref = np.zeros((1, 4, 5, 5))
+    for co in range(4):
+        group = co // 2
+        channels = slice(group * 2, group * 2 + 2)
+        for h in range(5):
+            for w in range(5):
+                ref[0, co, h, w] = np.sum(padded[0, channels, h:h + 3, w:w + 3] * weight[co])
+    np.testing.assert_allclose(out, ref, rtol=1e-10)
+
+
+def test_conv3d_output_shape():
+    dag = conv3d(1, 4, 8, 8, 8, 8, 3, 1, 1)
+    assert dag.outputs[0].shape == (1, 8, 8, 8, 8)
+
+
+def test_capsule_conv_shapes_and_flops():
+    dag = capsule_conv2d(1, 4, 8, 8, 8, 3, 1, 1, capsule_size=4)
+    assert dag.outputs[0].shape == (1, 8, 8, 8, 4, 4)
+    # reduction over ci * kh * kw * capsule
+    assert dag.flop_count() == 2 * (8 * 8 * 8 * 4 * 4) * (4 * 3 * 3 * 4)
+
+
+def test_norm_has_two_stages():
+    dag = make_op_dag("NRM", dict(m=64, n=64), batch=2)
+    names = [op.name for op in dag.compute_ops]
+    assert names == ["sumsq", "norm"]

@@ -1,0 +1,69 @@
+"""Tests for the ConvLayer and TBG subgraph workloads."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import execute_dag
+from repro.hardware import intel_cpu
+from repro.search import generate_sketches
+from repro.task import SearchTask
+from repro.workloads import SUBGRAPH_NAMES, conv_layer, make_subgraph_dag, subgraph_shape_configs, tbg
+
+
+def test_subgraph_config_table():
+    configs = subgraph_shape_configs()
+    assert set(configs) == set(SUBGRAPH_NAMES)
+    assert all(len(v) == 4 for v in configs.values())
+
+
+def test_conv_layer_structure():
+    dag = conv_layer(1, 8, 14, 14, 16, 3, 1, 1)
+    names = [op.name for op in dag.compute_ops]
+    assert names == ["conv2d", "bn", "relu"]
+    assert dag.outputs[0].shape == (1, 16, 14, 14)
+
+
+def test_conv_layer_numerics():
+    dag = conv_layer(1, 2, 5, 5, 3, 3, 1, 1)
+    data = np.random.randn(1, 2, 5, 5)
+    weight = np.random.randn(3, 2, 3, 3)
+    scale = np.random.rand(3) + 0.5
+    shift = np.random.randn(3)
+    out = execute_dag(dag, {"data": data, "weight": weight, "bn_scale": scale, "bn_shift": shift})
+    conv = out["conv2d"]
+    expected = np.maximum(conv * scale[None, :, None, None] + shift[None, :, None, None], 0.0)
+    np.testing.assert_allclose(out["relu"], expected, rtol=1e-10)
+
+
+def test_tbg_matches_einsum():
+    dag = tbg(2, 4, 3, 5)
+    q = np.random.randn(2, 4, 3, 5)
+    k = np.random.randn(2, 4, 3, 5)
+    out = execute_dag(dag, {"query": q, "key": k})["attention_score"]
+    # scores[b*h, i, j] = sum_d q[b, i, h, d] * k[b, j, h, d]
+    ref = np.einsum("bihd,bjhd->bhij", q, k).reshape(6, 4, 4)
+    np.testing.assert_allclose(out, ref, rtol=1e-10)
+
+
+def test_make_subgraph_dag_dispatch():
+    for name in SUBGRAPH_NAMES:
+        config = subgraph_shape_configs()[name][0]
+        dag = make_subgraph_dag(name, config, batch=1)
+        assert dag.flop_count() > 0
+    with pytest.raises(ValueError):
+        make_subgraph_dag("Softmax", {}, 1)
+
+
+def test_conv_layer_sketches_fuse_the_epilogue():
+    dag = conv_layer(1, 16, 14, 14, 32, 3, 1, 1)
+    sketches = generate_sketches(SearchTask(dag, intel_cpu()))
+    assert any(
+        any(step.kind == "compute_at" and step.stage_name == "relu" for step in sketch.transform_steps)
+        for sketch in sketches
+    )
+
+
+def test_tbg_sketches_exist():
+    dag = tbg(1, 128, 12, 64)
+    sketches = generate_sketches(SearchTask(dag, intel_cpu()))
+    assert len(sketches) >= 2

@@ -1,0 +1,20 @@
+# Development shortcuts.  The tier-1 gate is `make test`.
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: test test-fast bench install
+
+install:
+	pip install -e .
+
+# Tier-1 verify: the full suite, stopping at the first failure.
+test:
+	$(PYTEST) -x -q
+
+# Quick loop: skip the long-running integration/search/benchmark tests.
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+# Only the paper-figure benchmarks (all marked slow).
+bench:
+	$(PYTEST) -q benchmarks

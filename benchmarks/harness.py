@@ -22,15 +22,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro import SearchTask, TuningOptions
-from repro.hardware import CostSimulator, ProgramMeasurer, intel_cpu, intel_cpu_avx512, nvidia_gpu
-from repro.search import (
-    BeamSearchPolicy,
-    LibraryBaseline,
-    SketchPolicy,
-    limited_space_policy,
-    random_search_policy,
-)
+from repro import SearchTask, Tuner, TuningOptions
+from repro.hardware import intel_cpu_avx512
+from repro.search import LibraryBaseline
 
 __all__ = [
     "BENCH_TRIALS",
@@ -50,10 +44,11 @@ BENCH_NETWORK_TASKS = int(os.environ.get("REPRO_BENCH_NETWORK_TASKS", "3"))
 
 
 def tune_policy(policy, task, trials: int, seed: int = 0):
-    """Run one policy for a trial budget and return its best throughput (FLOP/s)."""
-    measurer = ProgramMeasurer(task.hardware_params, seed=seed)
-    policy.tune(TuningOptions(num_measure_trials=trials, num_measures_per_round=16, seed=seed), measurer)
-    return policy.best_throughput()
+    """Run one policy (an instance or a registered name) through a ``Tuner``
+    session for a trial budget; returns its best throughput (FLOP/s)."""
+    options = TuningOptions(num_measure_trials=trials, num_measures_per_round=16, seed=seed)
+    result = Tuner(task, policy=policy, options=options).tune()
+    return result.best_throughput()
 
 
 def run_frameworks_on_task(task: SearchTask, trials: int, seed: int = 0,
@@ -76,14 +71,11 @@ def run_frameworks_on_task(task: SearchTask, trials: int, seed: int = 0,
             library.run()
             results[name] = library.best_throughput()
         elif name == "Halide":
-            policy = BeamSearchPolicy(task, seed=seed)
-            results[name] = tune_policy(policy, task, trials, seed)
+            results[name] = tune_policy("beam", task, trials, seed)
         elif name in ("FlexTensor", "AutoTVM"):
-            policy = limited_space_policy(task, seed=seed)
-            results[name] = tune_policy(policy, task, trials, seed)
+            results[name] = tune_policy("limited-space", task, trials, seed)
         elif name == "Ansor":
-            policy = SketchPolicy(task, seed=seed)
-            results[name] = tune_policy(policy, task, trials, seed)
+            results[name] = tune_policy("sketch", task, trials, seed)
         else:
             raise ValueError(f"unknown framework {name!r}")
     return results

@@ -52,6 +52,7 @@ def run_evolution_ablation(trials=None, seed=0):
     return results
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="ablation-evolution")
 def test_evolution_operator_ablation(benchmark):
     results = benchmark.pedantic(run_evolution_ablation, rounds=1, iterations=1)

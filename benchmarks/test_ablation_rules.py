@@ -41,6 +41,7 @@ def run_rule_ablation():
     return results
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="ablation-rules")
 def test_sketch_rule_ablation(benchmark):
     results = benchmark.pedantic(run_rule_ablation, rounds=1, iterations=1)

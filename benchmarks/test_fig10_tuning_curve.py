@@ -76,6 +76,7 @@ def run_figure10(trials=None):
     return output
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="fig10")
 def test_fig10_network_tuning_curves(benchmark):
     output = benchmark.pedantic(run_figure10, rounds=1, iterations=1)

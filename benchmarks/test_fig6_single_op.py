@@ -46,6 +46,7 @@ def run_figure6():
     return rows, row_names, winners
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_single_operator_benchmark(benchmark):
     rows, row_names, winners = benchmark.pedantic(run_figure6, rounds=1, iterations=1)

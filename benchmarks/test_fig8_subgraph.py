@@ -44,6 +44,7 @@ def run_figure8():
     return rows, row_names
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_subgraph_benchmark(benchmark):
     rows, row_names = benchmark.pedantic(run_figure8, rounds=1, iterations=1)

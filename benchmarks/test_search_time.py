@@ -53,6 +53,7 @@ def run_search_time(trials=None):
     }
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="search-time")
 def test_search_time_comparison(benchmark):
     result = benchmark.pedantic(run_search_time, rounds=1, iterations=1)

@@ -51,6 +51,7 @@ def run_table2(trials=None):
     return rows
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="table2")
 def test_table2_multi_dnn_objectives(benchmark):
     rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)

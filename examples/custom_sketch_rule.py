@@ -10,9 +10,8 @@ generated sketches and in the tuned program.
 Run with:  python examples/custom_sketch_rule.py
 """
 
-from repro import SearchTask, TuningOptions, intel_cpu
-from repro.hardware import ProgramMeasurer
-from repro.search import SketchPolicy, SketchRule, generate_sketches, register_sketch_rule
+from repro import SearchTask, Tuner, TuningOptions, intel_cpu
+from repro.search import SketchRule, generate_sketches, register_sketch_rule
 from repro.search.sketch_rules import working_stage_name
 from repro.te.analysis import has_data_reuse
 from repro.workloads import matmul
@@ -49,12 +48,14 @@ def main():
     )
     print(f"generated {len(sketches)} sketches, {with_pragma} of them produced by the custom rule\n")
 
-    policy = SketchPolicy(task, seed=0)
-    policy.tune(TuningOptions(num_measure_trials=64, num_measures_per_round=16),
-                ProgramMeasurer(task.hardware_params, seed=0))
-    print(f"best latency: {policy.best_cost * 1e3:.3f} ms "
-          f"({policy.best_throughput() / 1e9:.1f} GFLOP/s)\n")
-    print(policy.best_state.print_program())
+    result = Tuner(
+        task,
+        policy="sketch",
+        options=TuningOptions(num_measure_trials=64, num_measures_per_round=16, seed=0),
+    ).tune()
+    print(f"best latency: {result.best_cost * 1e3:.3f} ms "
+          f"({result.best_throughput() / 1e9:.1f} GFLOP/s)\n")
+    print(result.best_state.print_program())
 
 
 if __name__ == "__main__":

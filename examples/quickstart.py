@@ -4,14 +4,19 @@ This mirrors the paper's Figure 1 + §3 workflow:
 
 1. define the computation in the tensor expression language,
 2. create a search task for a hardware target,
-3. run the auto-scheduler (sketch generation, random annotation,
+3. run a tuning session (sketch generation, random annotation,
    evolutionary fine-tuning with a learned cost model),
 4. inspect the best program it found.
+
+The session API is one object: ``Tuner(task, policy="sketch",
+callbacks=[...]).tune()`` returns a structured ``TuningResult``.  Recording,
+progress logging and early stopping are composable measure callbacks —
+e.g. add ``RecordToFile("tuning.json")`` to keep a replayable log.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import SearchTask, TuningOptions, auto_schedule, intel_cpu, te
+from repro import SearchTask, Tuner, TuningOptions, intel_cpu, te
 from repro.hardware import CostSimulator
 
 
@@ -38,14 +43,14 @@ def main():
     print(f"naive program estimated latency : {naive_cost * 1e3:8.3f} ms")
 
     options = TuningOptions(num_measure_trials=128, num_measures_per_round=16, seed=0, verbose=0)
-    best_state, best_cost = auto_schedule(task, options)
+    result = Tuner(task, policy="sketch", options=options).tune()
 
-    gflops = dag.flop_count() / best_cost / 1e9
-    print(f"tuned program estimated latency : {best_cost * 1e3:8.3f} ms   ({gflops:.1f} GFLOP/s)")
-    print(f"speedup over the naive program  : {naive_cost / best_cost:8.1f}x")
+    gflops = result.best_throughput() / 1e9
+    print(f"tuned program estimated latency : {result.best_cost * 1e3:8.3f} ms   ({gflops:.1f} GFLOP/s)")
+    print(f"speedup over the naive program  : {naive_cost / result.best_cost:8.1f}x")
     print()
     print("Best program found:")
-    print(best_state.print_program())
+    print(result.best_state.print_program())
 
 
 if __name__ == "__main__":

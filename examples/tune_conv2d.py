@@ -7,20 +7,17 @@ result against the baseline strategies of the paper (§7.1-§7.2):
 * random sampling without fine-tuning,
 * Ansor (this work).
 
+Every search strategy is selected by its registered policy name through the
+same ``Tuner`` session API.
+
 Run with:  python examples/tune_conv2d.py [num_trials]
 """
 
 import sys
 
-from repro import SearchTask, TuningOptions, intel_cpu
-from repro.hardware import CostSimulator, ProgramMeasurer
-from repro.search import (
-    BeamSearchPolicy,
-    LibraryBaseline,
-    SketchPolicy,
-    limited_space_policy,
-    random_search_policy,
-)
+from repro import SearchTask, Tuner, TuningOptions, intel_cpu
+from repro.hardware import CostSimulator
+from repro.search import LibraryBaseline
 from repro.workloads import conv_layer
 
 
@@ -41,19 +38,21 @@ def main():
 
     options = TuningOptions(num_measure_trials=trials, num_measures_per_round=16, seed=0)
     strategies = [
-        ("random sampling", random_search_policy(task, seed=0)),
-        ("limited space", limited_space_policy(task, seed=0)),
-        ("beam search", BeamSearchPolicy(task, seed=0)),
-        ("Ansor (ours)", SketchPolicy(task, seed=0)),
+        ("random sampling", "random"),
+        ("limited space", "limited-space"),
+        ("beam search", "beam"),
+        ("Ansor (ours)", "sketch"),
     ]
-    for name, policy in strategies:
-        measurer = ProgramMeasurer(target, seed=0)
-        policy.tune(options, measurer)
-        print(f"{name:>18s}: {policy.best_cost * 1e3:8.3f} ms  "
-              f"{policy.best_throughput() / 1e9:7.1f} GFLOP/s  ({policy.num_trials} trials)")
+    ansor = None
+    for name, policy_name in strategies:
+        result = Tuner(task, policy=policy_name, options=options).tune()
+        print(f"{name:>18s}: {result.best_cost * 1e3:8.3f} ms  "
+              f"{result.best_throughput() / 1e9:7.1f} GFLOP/s  ({result.num_trials} trials)")
+        if policy_name == "sketch":
+            ansor = result
 
     print("\nBest Ansor program:")
-    print(strategies[-1][1].best_state.print_program())
+    print(ansor.best_state.print_program())
 
 
 if __name__ == "__main__":

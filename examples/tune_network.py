@@ -3,7 +3,8 @@
 The network is partitioned into its unique subgraphs (tasks); the task
 scheduler allocates measurement rounds to the subgraphs that matter most for
 the end-to-end latency.  This example compares the gradient-based scheduler
-against round-robin allocation ("No task scheduler" in Figure 10).
+against round-robin allocation ("No task scheduler" in Figure 10), driving
+both through the unified ``Tuner`` session API.
 
 Run with:  python examples/tune_network.py [network] [num_trials]
            network in {resnet-50, mobilenet-v2, resnet3d-18, dcgan, bert}
@@ -11,37 +12,36 @@ Run with:  python examples/tune_network.py [network] [num_trials]
 
 import sys
 
-from repro.hardware import ProgramMeasurer, intel_cpu
-from repro.scheduler import TaskScheduler
-from repro.workloads import extract_tasks
-
-
-def tune(strategy: str, tasks, weights, dnn, trials: int) -> TaskScheduler:
-    scheduler = TaskScheduler(
-        tasks, task_weights=weights, task_to_dnn=dnn, strategy=strategy, seed=0
-    )
-    scheduler.tune(num_measure_trials=trials, num_measures_per_round=8,
-                   measurer=ProgramMeasurer(tasks[0].hardware_params, seed=0))
-    return scheduler
+from repro import Tuner, TuningOptions
+from repro.hardware import intel_cpu
 
 
 def main():
     network = sys.argv[1] if len(sys.argv) > 1 else "mobilenet-v2"
     trials = int(sys.argv[2]) if len(sys.argv) > 2 else 160
-    # Keep the example fast: only the heaviest subgraphs of the network.
-    tasks, weights, dnn = extract_tasks([network], batch=1, hardware=intel_cpu(),
-                                        max_tasks_per_network=8)
-    print(f"{network}: {len(tasks)} tuning tasks, {trials} measurement trials total\n")
+    options = TuningOptions(num_measure_trials=trials, num_measures_per_round=8, seed=0)
 
+    result = None
     for strategy in ("round_robin", "gradient"):
-        scheduler = tune(strategy, tasks, weights, dnn, trials)
+        # Keep the example fast: only the heaviest subgraphs of the network.
+        result = Tuner(
+            [network],
+            options=options,
+            hardware=intel_cpu(),
+            max_tasks_per_network=8,
+            scheduler_strategy=strategy,
+        ).tune()
+        if strategy == "round_robin":
+            print(f"{network}: {len(result.tasks)} tuning tasks, "
+                  f"{trials} measurement trials total\n")
         label = "task scheduler (gradient)" if strategy == "gradient" else "round robin (no scheduler)"
         print(f"{label:>28s}: estimated end-to-end latency "
-              f"{scheduler.dnn_latency(0) * 1e3:8.3f} ms")
-        print(f"{'':>28s}  allocations per task: {scheduler.allocations}")
+              f"{result.network_latencies[network] * 1e3:8.3f} ms")
+        print(f"{'':>28s}  allocations per task: {result.scheduler.allocations}")
 
     print("\nPer-task results of the gradient scheduler:")
-    for task, cost, rounds in zip(tasks, scheduler.best_costs, scheduler.allocations):
+    for task, cost, rounds in zip(result.tasks, result.best_costs,
+                                  result.scheduler.allocations):
         print(f"  {task.desc:<45s} {cost * 1e6:9.1f} us   ({rounds} rounds)")
 
 

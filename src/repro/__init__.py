@@ -18,18 +18,29 @@ paper-versus-reproduction results.
 
 from . import te
 from .auto_schedule import auto_schedule, auto_schedule_networks
+from .callbacks import (
+    EarlyStopper,
+    MeasureCallback,
+    MeasureEvent,
+    ProgressLogger,
+    RecordToFile,
+    StopTuning,
+)
 from .hardware.platform import HardwareParams, arm_cpu, intel_cpu, nvidia_gpu, target_from_name
 from .hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
 from .hardware.simulator import CostSimulator
 from .ir.state import State
-from .records import TuningRecord, apply_history_best, load_records, save_records
+from .records import TuningRecord, apply_history_best, load_records, records_to_curve, save_records
 from .scheduler.task_scheduler import TaskScheduler
+from .search import baselines as _baselines  # ensure baseline policies register
+from .search.policy import SearchPolicy, register_policy, registered_policies, resolve_policy
 from .search.sketch_policy import SketchPolicy
 from .search.space import FULL_SPACE, LIMITED_SPACE, SearchSpaceOptions
 from .task import SearchTask, TuningOptions
 from .te.dag import ComputeDAG
+from .tuner import Tuner, TuningResult
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "te",
@@ -37,8 +48,20 @@ __all__ = [
     "State",
     "SearchTask",
     "TuningOptions",
+    "Tuner",
+    "TuningResult",
     "auto_schedule",
     "auto_schedule_networks",
+    "MeasureCallback",
+    "MeasureEvent",
+    "RecordToFile",
+    "ProgressLogger",
+    "EarlyStopper",
+    "StopTuning",
+    "SearchPolicy",
+    "register_policy",
+    "registered_policies",
+    "resolve_policy",
     "SketchPolicy",
     "TaskScheduler",
     "SearchSpaceOptions",
@@ -57,5 +80,6 @@ __all__ = [
     "save_records",
     "load_records",
     "apply_history_best",
+    "records_to_curve",
     "__version__",
 ]

@@ -1,34 +1,41 @@
-"""Top-level convenience API.
+"""Deprecated convenience wrappers around :class:`repro.tuner.Tuner`.
 
-Typical single-subgraph usage::
+This module is kept for backwards compatibility only.  New code should use
+the unified session API::
 
-    from repro import auto_schedule, SearchTask, TuningOptions, workloads
+    from repro import Tuner, TuningOptions, RecordToFile
     from repro.hardware import intel_cpu
 
+    # single subgraph
     dag = workloads.matmul(512, 512, 512)
     task = SearchTask(dag, intel_cpu())
-    best_state, best_cost = auto_schedule(task, TuningOptions(num_measure_trials=128))
+    result = Tuner(task, policy="sketch",
+                   options=TuningOptions(num_measure_trials=128),
+                   callbacks=[RecordToFile("tuning.json")]).tune()
+    best_state, best_cost = result.best_state, result.best_cost
 
-Typical whole-network usage::
+    # whole networks
+    result = Tuner(["resnet-50"], options=TuningOptions(
+        num_measure_trials=2000)).tune()
+    print(result.network_latencies)
 
-    from repro import auto_schedule_networks
-
-    result = auto_schedule_networks(["resnet-50"], num_measure_trials=2000)
+``auto_schedule`` and ``auto_schedule_networks`` delegate to the same
+:class:`Tuner` and emit a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, Optional, Sequence, Tuple
 
+from .callbacks import RecordToFile
 from .hardware.measurer import ProgramMeasurer
 from .hardware.platform import HardwareParams
 from .ir.state import State
-from .records import save_records
 from .scheduler.objectives import Objective
-from .scheduler.task_scheduler import TaskScheduler
-from .search.sketch_policy import SketchPolicy
+from .search.policy import SearchPolicy
 from .task import SearchTask, TuningOptions
-from .workloads.networks import extract_tasks
+from .tuner import Tuner
 
 __all__ = ["auto_schedule", "auto_schedule_networks"]
 
@@ -36,31 +43,34 @@ __all__ = ["auto_schedule", "auto_schedule_networks"]
 def auto_schedule(
     task: SearchTask,
     options: Optional[TuningOptions] = None,
-    policy: Optional[SketchPolicy] = None,
+    policy: Optional[SearchPolicy] = None,
     measurer: Optional[ProgramMeasurer] = None,
     log_file: Optional[str] = None,
 ) -> Tuple[Optional[State], float]:
     """Search for the best program of a single task.
 
+    .. deprecated:: 0.2.0
+       Use :class:`repro.Tuner` — ``Tuner(task, callbacks=[RecordToFile(
+       log_file)]).tune()`` — which also honors ``options.early_stopping``
+       while recording.
+
     Returns ``(best_state, best_cost_seconds)``.
     """
-    options = options or TuningOptions()
-    policy = policy or SketchPolicy(task, seed=options.seed, verbose=options.verbose)
-    measurer = measurer or ProgramMeasurer(task.hardware_params, seed=options.seed)
-
-    if log_file is None:
-        policy.tune(options, measurer)
-    else:
-        while policy.num_trials < options.num_measure_trials:
-            budget = min(
-                options.num_measures_per_round,
-                options.num_measure_trials - policy.num_trials,
-            )
-            inputs, results = policy.continue_search_one_round(budget, measurer)
-            if not inputs:
-                break
-            save_records(log_file, inputs, results)
-    return policy.best_state, policy.best_cost
+    warnings.warn(
+        "auto_schedule() is deprecated; use repro.Tuner(task, ...).tune() "
+        "with a RecordToFile callback instead of log_file",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    callbacks = [RecordToFile(log_file)] if log_file is not None else []
+    result = Tuner(
+        task,
+        policy=policy if policy is not None else "sketch",
+        options=options,
+        callbacks=callbacks,
+        measurer=measurer,
+    ).tune()
+    return result.best_state, result.best_cost
 
 
 def auto_schedule_networks(
@@ -76,28 +86,36 @@ def auto_schedule_networks(
 ) -> Dict:
     """Tune one or more networks end to end with the task scheduler (§6).
 
+    .. deprecated:: 0.2.0
+       Use :class:`repro.Tuner` with a list of network names; it returns a
+       structured :class:`repro.tuner.TuningResult` instead of this dict.
+
     Returns a dictionary with the scheduler, the per-task best latencies and
     the estimated end-to-end latency of every network.
     """
-    tasks, weights, task_to_dnn = extract_tasks(
-        networks, batch=batch, hardware=hardware, max_tasks_per_network=max_tasks_per_network
+    warnings.warn(
+        "auto_schedule_networks() is deprecated; use "
+        "repro.Tuner([...networks...], ...).tune()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    scheduler = TaskScheduler(
-        tasks,
-        task_weights=weights,
-        task_to_dnn=task_to_dnn,
+    result = Tuner(
+        list(networks),
+        options=TuningOptions(
+            num_measure_trials=num_measure_trials,
+            num_measures_per_round=num_measures_per_round,
+            seed=seed,
+            verbose=verbose,
+        ),
+        hardware=hardware,
+        batch=batch,
+        max_tasks_per_network=max_tasks_per_network,
         objective=objective,
-        seed=seed,
-        verbose=verbose,
-    )
-    best_costs = scheduler.tune(num_measure_trials, num_measures_per_round)
-    network_latencies = {
-        name: scheduler.dnn_latency(index) for index, name in enumerate(networks)
-    }
+    ).tune()
     return {
-        "scheduler": scheduler,
-        "tasks": tasks,
-        "task_weights": weights,
-        "best_costs": best_costs,
-        "network_latencies": network_latencies,
+        "scheduler": result.scheduler,
+        "tasks": result.tasks,
+        "task_weights": result.scheduler.task_weights,
+        "best_costs": result.best_costs,
+        "network_latencies": result.network_latencies,
     }

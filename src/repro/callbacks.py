@@ -1,0 +1,205 @@
+"""Measure callbacks: composable observers of the tuning measure loop.
+
+Every search round ends with a batch of measurements.  Instead of wiring
+record logging, progress printing and early stopping into each search policy
+(or special-casing them in the top-level API), they are expressed as
+:class:`MeasureCallback` objects threaded through
+:meth:`repro.search.policy.SearchPolicy.continue_search_one_round` and
+:meth:`repro.scheduler.task_scheduler.TaskScheduler.tune`.  A callback sees
+
+* ``on_tuning_start(subject)`` / ``on_tuning_end(subject)`` once per tuning
+  session (the subject is the driving ``SearchPolicy`` or ``TaskScheduler``),
+* ``on_round(event)`` after every measured batch, with a
+  :class:`MeasureEvent` describing the batch and the policy's best-so-far,
+* ``on_scheduler_round(scheduler, record)`` after every task-scheduler
+  allocation round.
+
+A callback stops the session by raising :class:`StopTuning` from
+``on_round``; all callbacks of the round still run (so a recorder ordered
+after an early stopper does not lose the final batch), then the driver
+unwinds.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from .records import save_records
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+    from .scheduler.task_scheduler import TaskScheduler, TaskSchedulerRecord
+    from .search.policy import SearchPolicy
+    from .task import SearchTask
+
+__all__ = [
+    "StopTuning",
+    "MeasureEvent",
+    "MeasureCallback",
+    "RecordToFile",
+    "ProgressLogger",
+    "EarlyStopper",
+    "fire_round",
+    "fire_scheduler_round",
+]
+
+
+class StopTuning(Exception):
+    """Raised by a callback to end the current tuning session gracefully."""
+
+
+@dataclass
+class MeasureEvent:
+    """One measured round of one search policy."""
+
+    #: the task the round belongs to
+    task: "SearchTask"
+    #: the policy that produced the candidates
+    policy: "SearchPolicy"
+    #: the measured programs
+    inputs: List["MeasureInput"]
+    #: the corresponding measurement outcomes
+    results: List["MeasureResult"]
+    #: total trials consumed by the policy after this round
+    num_trials: int
+    #: best cost (seconds) of the policy after this round
+    best_cost: float
+    #: the measurer that produced the results, when available
+    measurer: Optional["ProgramMeasurer"] = None
+
+
+class MeasureCallback:
+    """Base class of measure callbacks; every hook defaults to a no-op."""
+
+    def on_tuning_start(self, subject) -> None:
+        """Called once when a tuning session begins."""
+
+    def on_round(self, event: MeasureEvent) -> None:
+        """Called after every measured round of a search policy."""
+
+    def on_scheduler_round(
+        self, scheduler: "TaskScheduler", record: "TaskSchedulerRecord"
+    ) -> None:
+        """Called after every allocation round of the task scheduler."""
+
+    def on_tuning_end(self, subject) -> None:
+        """Called once when a tuning session ends (including early stops)."""
+
+
+def _fire(callbacks: Sequence[MeasureCallback], call) -> None:
+    """Invoke one hook on every callback; all run even if one requests a
+    stop (so observers ordered after an early stopper still see the round),
+    then the first :class:`StopTuning` is re-raised."""
+    stop: Optional[StopTuning] = None
+    for callback in callbacks:
+        try:
+            call(callback)
+        except StopTuning as exc:
+            stop = stop or exc
+    if stop is not None:
+        raise stop
+
+
+def fire_round(callbacks: Sequence[MeasureCallback], event: MeasureEvent) -> None:
+    """Dispatch one measured round to every callback."""
+    _fire(callbacks, lambda cb: cb.on_round(event))
+
+
+def fire_scheduler_round(
+    callbacks: Sequence[MeasureCallback], scheduler, record
+) -> None:
+    """Dispatch one task-scheduler round to every callback."""
+    _fire(callbacks, lambda cb: cb.on_scheduler_round(scheduler, record))
+
+
+class RecordToFile(MeasureCallback):
+    """Append every measurement to a JSON-lines tuning log.
+
+    Replaces the old ``auto_schedule(..., log_file=...)`` special case: the
+    log can be replayed with :func:`repro.records.load_records` or deployed
+    with :func:`repro.records.apply_history_best`.
+    """
+
+    def __init__(self, path, append: bool = True):
+        self.path = path
+        self.append = append
+
+    def on_tuning_start(self, subject) -> None:
+        if not self.append:
+            open(self.path, "w").close()
+
+    def on_round(self, event: MeasureEvent) -> None:
+        save_records(self.path, event.inputs, event.results)
+
+
+class ProgressLogger(MeasureCallback):
+    """Print a one-line progress summary after every round.
+
+    Replaces the scattered ``verbose`` prints of the search policies and the
+    task scheduler.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, log_scheduler_rounds: bool = True):
+        self.stream = stream
+        self.log_scheduler_rounds = log_scheduler_rounds
+
+    def _print(self, message: str) -> None:
+        print(message, file=self.stream if self.stream is not None else sys.stdout)
+
+    def on_round(self, event: MeasureEvent) -> None:
+        errors = sum(1 for res in event.results if not res.valid)
+        line = (
+            f"[{type(event.policy).__name__}] task={event.task.desc!r} "
+            f"trials={event.num_trials} best={event.best_cost:.3e}s"
+        )
+        if errors:
+            line += f" errors={errors}"
+        self._print(line)
+
+    def on_scheduler_round(self, scheduler, record) -> None:
+        if not self.log_scheduler_rounds:
+            return
+        task = scheduler.tasks[record.selected_task]
+        self._print(
+            f"[TaskScheduler] trials={record.total_trials} "
+            f"task={record.selected_task} ({task.desc}) "
+            f"objective={record.objective_value:.4e}"
+        )
+
+
+class EarlyStopper(MeasureCallback):
+    """Stop tuning after ``patience`` rounds without improvement.
+
+    State is tracked per search policy (each scheduler task has its own
+    policy, so identical workloads never share a counter), which lets one
+    instance be shared by a multi-task scheduler session: the task scheduler
+    treats the stop as "this task is exhausted" and keeps tuning the others.
+    """
+
+    def __init__(self, patience: int, min_trials: int = 0):
+        if patience <= 0:
+            raise ValueError("EarlyStopper patience must be positive")
+        self.patience = patience
+        self.min_trials = min_trials
+        #: policy id -> (best cost seen, rounds since it improved)
+        self._tracker: Dict[int, Tuple[float, int]] = {}
+
+    def on_tuning_start(self, subject) -> None:
+        # Fresh session, fresh counters: a stopper reused across sessions
+        # must not inherit staleness (or a recycled policy id's state).
+        self._tracker.clear()
+
+    def on_round(self, event: MeasureEvent) -> None:
+        key = id(event.policy)
+        best, stale = self._tracker.get(key, (float("inf"), 0))
+        if event.best_cost < best:
+            best, stale = event.best_cost, 0
+        else:
+            stale += 1
+        self._tracker[key] = (best, stale)
+        if stale >= self.patience and event.num_trials >= self.min_trials:
+            raise StopTuning(
+                f"no improvement on {event.task.desc!r} for {stale} rounds"
+            )

@@ -82,6 +82,8 @@ class ProgramMeasurer:
         self.measure_latency_sec = measure_latency_sec
         #: total number of measurement trials performed
         self.measure_count = 0
+        #: measurements that failed to build or run (invalid schedules)
+        self.error_count = 0
         #: simulated wall-clock time spent measuring
         self.elapsed_sec = 0.0
         #: best cost (seconds) seen per workload key
@@ -108,6 +110,7 @@ class ProgramMeasurer:
             base = self.simulator.estimate(state)
         except Exception as exc:  # invalid schedule -> build error
             self.measure_count += 1
+            self.error_count += 1
             return MeasureResult(costs=[], error=f"{type(exc).__name__}: {exc}")
         factors = np.clip(self._noise_factors(state, self.repeats), 0.5, 2.0)
         costs = [float(base * f) for f in factors]

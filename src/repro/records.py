@@ -19,7 +19,14 @@ from .ir.state import State
 from .ir.steps import step_from_dict
 from .task import SearchTask
 
-__all__ = ["TuningRecord", "save_records", "load_records", "best_record", "apply_history_best"]
+__all__ = [
+    "TuningRecord",
+    "save_records",
+    "load_records",
+    "best_record",
+    "apply_history_best",
+    "records_to_curve",
+]
 
 PathLike = Union[str, Path]
 
@@ -114,6 +121,23 @@ def load_records(path: PathLike) -> List[TuningRecord]:
             except (json.JSONDecodeError, KeyError):
                 continue
     return records
+
+
+def records_to_curve(
+    records: Iterable[TuningRecord], workload_key: Optional[str] = None
+) -> List[Tuple[int, float]]:
+    """Rebuild a tuning curve ``(trial, best_cost_so_far)`` from a record log,
+    optionally restricted to one workload."""
+    curve: List[Tuple[int, float]] = []
+    best = float("inf")
+    trial = 0
+    for record in records:
+        if workload_key is not None and record.workload_key != workload_key:
+            continue
+        trial += 1
+        best = min(best, record.best_cost)
+        curve.append((trial, best))
+    return curve
 
 
 def best_record(path: PathLike, workload_key: str) -> Optional[TuningRecord]:

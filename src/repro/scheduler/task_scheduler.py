@@ -24,6 +24,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..callbacks import (
+    MeasureCallback,
+    ProgressLogger,
+    StopTuning,
+    fire_round,
+    fire_scheduler_round,
+)
 from ..cost_model.model import CostModel, LearnedCostModel
 from ..hardware.measurer import ProgramMeasurer
 from ..ir.state import State
@@ -93,6 +100,8 @@ class TaskScheduler:
 
         #: rounds allocated per task (t_i)
         self.allocations: List[int] = [0] * n
+        #: tasks a callback early-stopped (no further rounds are allocated)
+        self.exhausted: List[bool] = [False] * n
         #: best latency per task (g_i), infinity before the first measurement
         self.best_costs: List[float] = [float("inf")] * n
         #: per-task history of best latency after each allocated round
@@ -156,17 +165,20 @@ class TaskScheduler:
         gradient = df_dg * (self.alpha * backward + (1 - self.alpha) * forward)
         return min(gradient, 0.0)
 
-    def _select_task(self) -> int:
+    def _select_task(self) -> Optional[int]:
+        live = [i for i, done in enumerate(self.exhausted) if not done]
+        if not live:
+            return None
         if self.strategy == "round_robin":
-            return int(np.argmin(self.allocations))
+            return min(live, key=lambda i: self.allocations[i])
         # Warm-up: allocate one round to every task first.
-        for i, t in enumerate(self.allocations):
-            if t == 0:
+        for i in live:
+            if self.allocations[i] == 0:
                 return i
         if self.rng.random() < self.eps_greedy:
-            return int(self.rng.integers(0, len(self.tasks)))
-        gradients = np.array([self._gradient(i) for i in range(len(self.tasks))])
-        return int(np.argmin(gradients))
+            return live[int(self.rng.integers(0, len(live)))]
+        gradients = [self._gradient(i) for i in live]
+        return live[int(np.argmin(gradients))]
 
     # ------------------------------------------------------------------
     # Main loop
@@ -176,40 +188,70 @@ class TaskScheduler:
         num_measure_trials: int,
         num_measures_per_round: int = 16,
         measurer: Optional[ProgramMeasurer] = None,
+        callbacks: Sequence[MeasureCallback] = (),
     ) -> List[float]:
         """Distribute ``num_measure_trials`` over the tasks; returns the final
-        best latency per task."""
+        best latency per task.
+
+        ``callbacks`` observe every measured round (see
+        :mod:`repro.callbacks`).  A callback that raises
+        :class:`~repro.callbacks.StopTuning` for a round marks that task as
+        exhausted: the scheduler stops allocating to it but keeps tuning the
+        remaining tasks (an :class:`~repro.callbacks.EarlyStopper` tracks
+        improvement per task, so sharing one instance works as expected).
+        """
         measurer = measurer or ProgramMeasurer(self.tasks[0].hardware_params)
-        while self.total_trials < num_measure_trials:
-            index = self._select_task()
-            policy = self.policies[index]
-            budget = min(num_measures_per_round, num_measure_trials - self.total_trials)
-            inputs, results = policy.continue_search_one_round(budget, measurer)
-            consumed = len(inputs)
-            if consumed == 0:
-                # The policy could not produce new candidates; avoid an
-                # infinite loop by charging one trial.
-                consumed = 1
-            self.total_trials += consumed
-            self.allocations[index] += 1
-            self.best_costs[index] = policy.best_cost
-            self.latency_history[index].append(policy.best_cost)
-            if isinstance(self.objective, EarlyStoppingLatency):
-                self.objective.observe(index, policy.best_cost)
-            value = self.objective_value()
-            self.records.append(
-                TaskSchedulerRecord(
+        active = list(callbacks)
+        if self.verbose and not any(isinstance(cb, ProgressLogger) for cb in active):
+            active.append(ProgressLogger())
+        for cb in active:
+            cb.on_tuning_start(self)
+        try:
+            while self.total_trials < num_measure_trials:
+                index = self._select_task()
+                if index is None:  # every task early-stopped
+                    break
+                policy = self.policies[index]
+                budget = min(num_measures_per_round, num_measure_trials - self.total_trials)
+                # Two-argument call: pre-0.2.0 policies (no callbacks
+                # parameter) keep working; events fire here at the loop level.
+                inputs, results = policy.continue_search_one_round(budget, measurer)
+                consumed = len(inputs)
+                stopped = False
+                if active and inputs:
+                    try:
+                        fire_round(active, policy._make_event(inputs, results, measurer))
+                    except StopTuning:
+                        stopped = True
+                if consumed == 0:
+                    # The policy could not produce new candidates; avoid an
+                    # infinite loop by charging one trial.
+                    consumed = 1
+                if stopped:
+                    self.exhausted[index] = True
+                self.total_trials += consumed
+                self.allocations[index] += 1
+                self.best_costs[index] = policy.best_cost
+                self.latency_history[index].append(policy.best_cost)
+                if isinstance(self.objective, EarlyStoppingLatency):
+                    self.objective.observe(index, policy.best_cost)
+                record = TaskSchedulerRecord(
                     total_trials=self.total_trials,
-                    objective_value=value,
+                    objective_value=self.objective_value(),
                     best_costs=list(self.best_costs),
                     selected_task=index,
                 )
-            )
-            if self.verbose:
-                print(
-                    f"[TaskScheduler] trials={self.total_trials} task={index} "
-                    f"({self.tasks[index].desc}) objective={value:.4e}"
-                )
+                self.records.append(record)
+                try:
+                    if active:
+                        fire_scheduler_round(active, self, record)
+                except StopTuning:
+                    # A scheduler-level stop (e.g. a global budget callback)
+                    # ends the whole session, not just one task.
+                    break
+        finally:
+            for cb in active:
+                cb.on_tuning_end(self)
         return list(self.best_costs)
 
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ from .mutation import (
     node_based_crossover,
     random_mutation,
 )
-from .policy import SearchPolicy
+from .policy import SearchPolicy, register_policy, registered_policies, resolve_policy
 from .sketch import generate_sketches
 from .sketch_policy import SketchPolicy
 from .sketch_rules import (
@@ -46,6 +46,9 @@ __all__ = [
     "generate_sketches",
     "SketchPolicy",
     "SearchPolicy",
+    "register_policy",
+    "registered_policies",
+    "resolve_policy",
     "EvolutionarySearch",
     "SearchSpaceOptions",
     "FULL_SPACE",

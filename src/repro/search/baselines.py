@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..callbacks import MeasureCallback
 from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
 from ..hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
 from ..hardware.platform import HardwareParams
@@ -27,7 +28,7 @@ from ..ir.state import State
 from ..ir.steps import SplitStep
 from ..task import SearchTask
 from .annotation import annotate_state, fill_tile_sizes
-from .policy import SearchPolicy
+from .policy import SearchPolicy, register_policy
 from .sketch import generate_sketches
 from .sketch_policy import SketchPolicy
 from .space import FULL_SPACE, LIMITED_SPACE, SearchSpaceOptions
@@ -49,6 +50,7 @@ __all__ = [
 
 def random_search_policy(task: SearchTask, seed: int = 0, **kwargs) -> SketchPolicy:
     """The "No fine-tuning" ablation: random sampling only (§7.1, Figure 7)."""
+    kwargs.pop("cost_model", None)  # random search never uses a learned model
     return SketchPolicy(
         task,
         cost_model=RandomCostModel(seed=seed),
@@ -64,6 +66,10 @@ def limited_space_policy(task: SearchTask, seed: int = 0, **kwargs) -> SketchPol
     return SketchPolicy(task, space=LIMITED_SPACE, seed=seed, **kwargs)
 
 
+register_policy("random", random_search_policy)
+register_policy("limited-space", limited_space_policy)
+
+
 def no_task_scheduler_note() -> str:
     """The "No task scheduler" ablation is a property of the task scheduler
     (round-robin allocation); see :class:`repro.scheduler.TaskScheduler`."""
@@ -75,6 +81,7 @@ def no_task_scheduler_note() -> str:
 # ---------------------------------------------------------------------------
 
 
+@register_policy("beam")
 class BeamSearchPolicy(SearchPolicy):
     """Sequential construction based search with early pruning (§2, Figure 2b).
 
@@ -171,7 +178,10 @@ class BeamSearchPolicy(SearchPolicy):
 
     # ------------------------------------------------------------------
     def continue_search_one_round(
-        self, num_measures: int, measurer: ProgramMeasurer
+        self,
+        num_measures: int,
+        measurer: ProgramMeasurer,
+        callbacks: Sequence[MeasureCallback] = (),
     ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
         candidates = self._construct_candidates()
         picked: List[State] = []
@@ -191,7 +201,7 @@ class BeamSearchPolicy(SearchPolicy):
         for inp in inputs:
             self._measured_keys.add(repr(inp.state.serialize_steps()))
         self.cost_model.update(inputs, results)
-        self._record_results(inputs, results)
+        self._record_results(inputs, results, callbacks, measurer)
         return inputs, results
 
 

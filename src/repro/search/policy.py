@@ -4,20 +4,74 @@ A search policy optimizes one :class:`~repro.task.SearchTask`.  Policies are
 driven either standalone (through :meth:`SearchPolicy.tune`) or by the task
 scheduler (§6), which repeatedly asks for "one more round" of measurements
 via :meth:`SearchPolicy.continue_search_one_round`.
+
+Policies are also available through a string-keyed registry so higher
+layers (most notably :class:`repro.tuner.Tuner`) can select a search
+strategy by name: ``resolve_policy("sketch")`` returns the factory that
+:class:`~repro.search.sketch_policy.SketchPolicy` registered, and the
+baselines in :mod:`repro.search.baselines` register ``"beam"``,
+``"random"`` and ``"limited-space"``.  A factory is called as
+``factory(task, cost_model=..., seed=..., verbose=..., **kwargs)`` and
+returns a ready-to-run policy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..callbacks import MeasureCallback, MeasureEvent, ProgressLogger, StopTuning, fire_round
 from ..hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
 from ..ir.state import State
 from ..task import SearchTask, TuningOptions
 
-__all__ = ["SearchPolicy"]
+__all__ = [
+    "SearchPolicy",
+    "PolicyFactory",
+    "register_policy",
+    "registered_policies",
+    "resolve_policy",
+]
+
+#: ``(task, cost_model=..., seed=..., verbose=..., **kwargs) -> SearchPolicy``
+PolicyFactory = Callable[..., "SearchPolicy"]
+
+_POLICY_REGISTRY: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: Optional[PolicyFactory] = None):
+    """Register a search-policy factory under a string key.
+
+    Usable directly (``register_policy("beam", make_beam)``) or as a class /
+    function decorator (``@register_policy("beam")``).  Re-registering a name
+    overwrites the previous factory.
+    """
+
+    def _register(factory: PolicyFactory) -> PolicyFactory:
+        _POLICY_REGISTRY[name] = factory
+        return factory
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def registered_policies() -> List[str]:
+    """The sorted names of all registered search policies."""
+    return sorted(_POLICY_REGISTRY)
+
+
+def resolve_policy(name: str) -> PolicyFactory:
+    """Look up a policy factory by name; unknown names raise ``KeyError``
+    listing every registered policy."""
+    try:
+        return _POLICY_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown search policy {name!r}; registered policies: "
+            f"{', '.join(registered_policies()) or '(none)'}"
+        ) from None
 
 
 class SearchPolicy:
@@ -39,14 +93,43 @@ class SearchPolicy:
 
     # ------------------------------------------------------------------
     def continue_search_one_round(
-        self, num_measures: int, measurer: ProgramMeasurer
+        self,
+        num_measures: int,
+        measurer: ProgramMeasurer,
+        callbacks: Sequence[MeasureCallback] = (),
     ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
-        """Generate, measure and learn from one batch of candidate programs."""
+        """Generate, measure and learn from one batch of candidate programs.
+
+        ``callbacks`` observe the measured batch (see
+        :mod:`repro.callbacks`); a callback may raise
+        :class:`~repro.callbacks.StopTuning` to end the session.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def _make_event(
+        self,
+        inputs: Sequence[MeasureInput],
+        results: Sequence[MeasureResult],
+        measurer: Optional[ProgramMeasurer] = None,
+    ) -> MeasureEvent:
+        """The :class:`MeasureEvent` describing the policy's latest round."""
+        return MeasureEvent(
+            task=self.task,
+            policy=self,
+            inputs=list(inputs),
+            results=list(results),
+            num_trials=self.num_trials,
+            best_cost=self.best_cost,
+            measurer=measurer,
+        )
+
     def _record_results(
-        self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]
+        self,
+        inputs: Sequence[MeasureInput],
+        results: Sequence[MeasureResult],
+        callbacks: Sequence[MeasureCallback] = (),
+        measurer: Optional[ProgramMeasurer] = None,
     ) -> None:
         for inp, res in zip(inputs, results):
             self.num_trials += 1
@@ -54,6 +137,8 @@ class SearchPolicy:
                 self.best_cost = res.min_cost
                 self.best_state = inp.state
         self.history.append((self.num_trials, self.best_cost))
+        if callbacks:
+            fire_round(callbacks, self._make_event(inputs, results, measurer))
 
     def best_throughput(self) -> float:
         """Best achieved throughput in FLOP/s (0 when nothing measured yet)."""
@@ -66,30 +151,47 @@ class SearchPolicy:
         self,
         options: Optional[TuningOptions] = None,
         measurer: Optional[ProgramMeasurer] = None,
+        callbacks: Sequence[MeasureCallback] = (),
     ) -> Optional[State]:
-        """Run a full standalone tuning session on this task."""
+        """Run a full standalone tuning session on this task.
+
+        Recording, progress logging and early stopping are all measure
+        callbacks; ``options.verbose`` and ``options.early_stopping`` are
+        honored by appending the equivalent callback when none is given.
+        """
+        from ..callbacks import EarlyStopper  # local: keep top-level imports light
+
         options = options or TuningOptions()
         measurer = measurer or ProgramMeasurer(self.task.hardware_params, seed=self.seed)
-        rounds_without_improvement = 0
-        last_best = self.best_cost
-        while self.num_trials < options.num_measure_trials:
-            budget = min(
-                options.num_measures_per_round,
-                options.num_measure_trials - self.num_trials,
-            )
-            inputs, results = self.continue_search_one_round(budget, measurer)
-            if not inputs:
-                break
-            if options.verbose:
-                print(
-                    f"[{type(self).__name__}] trials={self.num_trials} "
-                    f"best={self.best_cost:.3e}s"
+        active = list(callbacks)
+        if (options.verbose or self.verbose) and not any(
+            isinstance(cb, ProgressLogger) for cb in active
+        ):
+            active.append(ProgressLogger())
+        if options.early_stopping and not any(
+            isinstance(cb, EarlyStopper) for cb in active
+        ):
+            active.append(EarlyStopper(options.early_stopping))
+
+        for cb in active:
+            cb.on_tuning_start(self)
+        try:
+            while self.num_trials < options.num_measure_trials:
+                budget = min(
+                    options.num_measures_per_round,
+                    options.num_measure_trials - self.num_trials,
                 )
-            if self.best_cost < last_best:
-                last_best = self.best_cost
-                rounds_without_improvement = 0
-            else:
-                rounds_without_improvement += 1
-            if options.early_stopping and rounds_without_improvement >= options.early_stopping:
-                break
+                # The two-argument call keeps pre-0.2.0 subclasses (which
+                # override without the callbacks parameter) working; events
+                # are fired here, at the loop level, instead.
+                inputs, results = self.continue_search_one_round(budget, measurer)
+                if not inputs:
+                    break
+                if active:
+                    fire_round(active, self._make_event(inputs, results, measurer))
+        except StopTuning:
+            pass
+        finally:
+            for cb in active:
+                cb.on_tuning_end(self)
         return self.best_state

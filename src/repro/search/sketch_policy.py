@@ -18,13 +18,14 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..callbacks import MeasureCallback
 from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
 from ..hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
 from ..ir.state import State
 from ..task import SearchTask
 from .annotation import sample_initial_population
 from .evolutionary import EvolutionarySearch
-from .policy import SearchPolicy
+from .policy import SearchPolicy, register_policy
 from .sketch import generate_sketches
 from .sketch_rules import SketchRule
 from .space import FULL_SPACE, SearchSpaceOptions
@@ -36,8 +37,9 @@ def _state_key(state: State) -> str:
     return repr(state.serialize_steps())
 
 
+@register_policy("sketch")
 class SketchPolicy(SearchPolicy):
-    """Ansor's sketch-based search policy."""
+    """Ansor's sketch-based search policy (registered as ``"sketch"``)."""
 
     def __init__(
         self,
@@ -121,7 +123,10 @@ class SketchPolicy(SearchPolicy):
 
     # ------------------------------------------------------------------
     def continue_search_one_round(
-        self, num_measures: int, measurer: ProgramMeasurer
+        self,
+        num_measures: int,
+        measurer: ProgramMeasurer,
+        callbacks: Sequence[MeasureCallback] = (),
     ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
         population = self._initial_population()
         if not population:
@@ -158,5 +163,5 @@ class SketchPolicy(SearchPolicy):
         self._best_measured = self._best_measured[: self.retained_best * 4]
 
         self.cost_model.update(inputs, results)
-        self._record_results(inputs, results)
+        self._record_results(inputs, results, callbacks, measurer)
         return inputs, results

@@ -56,3 +56,11 @@ class TuningOptions:
     verbose: int = 0
     #: random seed for the search
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_measure_trials <= 0:
+            raise ValueError("num_measure_trials must be positive")
+        if self.num_measures_per_round <= 0:
+            raise ValueError("num_measures_per_round must be positive")
+        if self.early_stopping is not None and self.early_stopping <= 0:
+            raise ValueError("early_stopping must be positive (or None to disable)")

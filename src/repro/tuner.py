@@ -1,0 +1,280 @@
+"""Unified tuning sessions: one API for single-task and multi-network tuning.
+
+The paper's system is explicitly layered — program sampler, performance
+tuner, task scheduler.  :class:`Tuner` is the session object that composes
+those layers behind one interface:
+
+* the **workload** is either a single :class:`~repro.task.SearchTask` or a
+  list of network names (resolved through the workload zoo and driven by the
+  gradient-descent task scheduler),
+* the **policy** is selected from the string-keyed registry
+  (``"sketch"``, ``"beam"``, ``"random"``, ``"limited-space"``, plus
+  anything user code registered with
+  :func:`repro.search.policy.register_policy`) — or passed directly as a
+  ready :class:`~repro.search.policy.SearchPolicy` instance or factory,
+* **observers** of the measure loop (recording, progress logging, early
+  stopping, anything custom) are :class:`~repro.callbacks.MeasureCallback`
+  objects in ``callbacks=[...]``.
+
+Every session returns a structured :class:`TuningResult`::
+
+    from repro import Tuner, TuningOptions, RecordToFile
+
+    result = Tuner(task, policy="sketch",
+                   options=TuningOptions(num_measure_trials=128),
+                   callbacks=[RecordToFile("tuning.json")]).tune()
+    print(result.best_cost, result.best_state.print_program())
+
+    result = Tuner(["resnet-50", "bert"], options=TuningOptions(
+        num_measure_trials=2000)).tune()
+    print(result.network_latencies)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .callbacks import MeasureCallback
+from .hardware.measurer import ProgramMeasurer
+from .hardware.platform import HardwareParams
+from .ir.state import State
+from .scheduler.objectives import Objective
+from .scheduler.task_scheduler import TaskScheduler
+from .search.policy import PolicyFactory, SearchPolicy, resolve_policy
+from .task import SearchTask, TuningOptions
+from .workloads.networks import extract_tasks
+
+__all__ = ["Tuner", "TuningResult"]
+
+#: anything :class:`Tuner` accepts as its ``policy`` argument
+PolicyLike = Union[str, SearchPolicy, PolicyFactory]
+
+
+@dataclass
+class TuningResult:
+    """The structured outcome of one tuning session."""
+
+    #: every task the session tuned (one for single-task sessions)
+    tasks: List[SearchTask]
+    #: best measured cost (seconds) per task; ``inf`` where nothing measured
+    best_costs: List[float]
+    #: best program per task; ``None`` where nothing valid was measured
+    best_states: List[Optional[State]]
+    #: tuning curve: ``(total_trials, objective_value)`` after every round.
+    #: For a single task the objective is its best cost; for networks it is
+    #: the task scheduler's objective (weighted end-to-end latency).
+    history: List[Tuple[int, float]] = field(default_factory=list)
+    #: estimated end-to-end latency per network (multi-network sessions)
+    network_latencies: Dict[str, float] = field(default_factory=dict)
+    #: the driving scheduler of a multi-network session, for introspection
+    scheduler: Optional[TaskScheduler] = None
+    #: total measurement trials consumed
+    num_trials: int = 0
+    #: measurements that failed to build or run (invalid schedules)
+    num_errors: int = 0
+
+    # -- single-task conveniences ---------------------------------------
+    @property
+    def best_state(self) -> Optional[State]:
+        """Best program of the first (or only) task."""
+        return self.best_states[0] if self.best_states else None
+
+    @property
+    def best_cost(self) -> float:
+        """Best cost (seconds) of the first (or only) task."""
+        return self.best_costs[0] if self.best_costs else float("inf")
+
+    def best_throughput(self, index: int = 0) -> float:
+        """Achieved FLOP/s on one task (0 when nothing was measured)."""
+        cost = self.best_costs[index]
+        if not np.isfinite(cost) or cost <= 0:
+            return 0.0
+        return self.tasks[index].flop_count() / cost
+
+
+class Tuner:
+    """One tuning session over a task or a set of networks.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.task.SearchTask`, one network name, or a sequence
+        of network names from the workload zoo.
+    policy:
+        A registered policy name (see
+        :func:`repro.search.policy.registered_policies`), a ready
+        :class:`SearchPolicy` instance (single-task sessions only), or a
+        factory ``(task, cost_model=..., seed=..., verbose=...) -> policy``.
+    options:
+        The shared :class:`~repro.task.TuningOptions` (trial budget, round
+        size, early stopping, seed, verbosity).
+    callbacks:
+        :class:`~repro.callbacks.MeasureCallback` observers of every
+        measured round.
+    policy_kwargs:
+        Extra keyword arguments forwarded to the policy factory.
+    measurer:
+        Measurement backend override; defaults to a
+        :class:`~repro.hardware.measurer.ProgramMeasurer` on the workload's
+        hardware.
+    hardware / batch / max_tasks_per_network / objective / scheduler_strategy:
+        Network-session knobs, forwarded to the task extractor and the
+        :class:`~repro.scheduler.task_scheduler.TaskScheduler`.
+    """
+
+    def __init__(
+        self,
+        workload: Union[SearchTask, str, Sequence[str]],
+        *,
+        policy: PolicyLike = "sketch",
+        options: Optional[TuningOptions] = None,
+        callbacks: Optional[Sequence[MeasureCallback]] = None,
+        policy_kwargs: Optional[dict] = None,
+        measurer: Optional[ProgramMeasurer] = None,
+        hardware: Optional[HardwareParams] = None,
+        batch: int = 1,
+        max_tasks_per_network: Optional[int] = None,
+        objective: Optional[Objective] = None,
+        scheduler_strategy: str = "gradient",
+    ):
+        self.workload = workload
+        self.policy = policy
+        self.options = options or TuningOptions()
+        self.callbacks = list(callbacks or [])
+        self.policy_kwargs = dict(policy_kwargs or {})
+        self.measurer = measurer
+        self.hardware = hardware
+        self.batch = batch
+        self.max_tasks_per_network = max_tasks_per_network
+        self.objective = objective
+        self.scheduler_strategy = scheduler_strategy
+
+        if isinstance(workload, SearchTask):
+            self.networks: Optional[List[str]] = None
+        elif isinstance(workload, str):
+            self.networks = [workload]
+        else:
+            try:
+                self.networks = list(workload)
+            except TypeError:
+                raise TypeError(
+                    "Tuner workload must be a SearchTask or network name(s); "
+                    f"got {workload!r}"
+                ) from None
+            if not self.networks:
+                raise ValueError("Tuner needs at least one network name")
+            if not all(isinstance(name, str) for name in self.networks):
+                raise TypeError(
+                    "Tuner workload must be a SearchTask or network name(s); "
+                    f"got {workload!r}"
+                )
+        if self.networks is not None and isinstance(policy, SearchPolicy):
+            raise TypeError(
+                "a SearchPolicy instance is bound to one task; multi-network "
+                "sessions need a policy name or factory"
+            )
+
+    # ------------------------------------------------------------------
+    def _policy_factory(self) -> PolicyFactory:
+        if isinstance(self.policy, str):
+            return resolve_policy(self.policy)
+        return self.policy  # already a factory
+
+    def _make_policy(self, task: SearchTask) -> SearchPolicy:
+        if isinstance(self.policy, SearchPolicy):
+            return self.policy
+        factory = self._policy_factory()
+        # policy_kwargs last: explicit user kwargs override the defaults
+        # instead of raising "multiple values for keyword argument".
+        kwargs = {"seed": self.options.seed, "verbose": self.options.verbose,
+                  **self.policy_kwargs}
+        return factory(task, **kwargs)
+
+    # ------------------------------------------------------------------
+    def tune(self) -> TuningResult:
+        """Run the session to completion and return its :class:`TuningResult`."""
+        if self.networks is None:
+            return self._tune_single(self.workload)
+        return self._tune_networks(self.networks)
+
+    # -- single task -----------------------------------------------------
+    def _tune_single(self, task: SearchTask) -> TuningResult:
+        policy = self._make_policy(task)
+        measurer = self.measurer or ProgramMeasurer(
+            task.hardware_params, seed=self.options.seed
+        )
+        # Report this session's consumption, not the lifetime counters of a
+        # caller-supplied (possibly pre-used) policy or measurer.
+        trials_before = policy.num_trials
+        errors_before = measurer.error_count
+        policy.tune(self.options, measurer, self.callbacks)
+        return TuningResult(
+            tasks=[task],
+            best_costs=[policy.best_cost],
+            best_states=[policy.best_state],
+            # Session-scoped like num_trials: only this session's rounds,
+            # rebased so the curve starts at zero trials.
+            history=[(t - trials_before, c) for t, c in policy.history
+                     if t > trials_before],
+            num_trials=policy.num_trials - trials_before,
+            num_errors=measurer.error_count - errors_before,
+        )
+
+    # -- networks --------------------------------------------------------
+    def _tune_networks(self, networks: List[str]) -> TuningResult:
+        tasks, weights, task_to_dnn = extract_tasks(
+            networks,
+            batch=self.batch,
+            hardware=self.hardware,
+            max_tasks_per_network=self.max_tasks_per_network,
+        )
+        factory = self._policy_factory()
+        options = self.options
+        kwargs = self.policy_kwargs
+
+        def scheduler_factory(task, cost_model, seed):
+            merged = {"cost_model": cost_model, "seed": seed,
+                      "verbose": options.verbose, **kwargs}
+            return factory(task, **merged)
+
+        scheduler = TaskScheduler(
+            tasks,
+            task_weights=weights,
+            task_to_dnn=task_to_dnn,
+            objective=self.objective,
+            policy_factory=scheduler_factory,
+            strategy=self.scheduler_strategy,
+            seed=options.seed,
+            verbose=options.verbose,
+        )
+        callbacks = list(self.callbacks)
+        if options.early_stopping:
+            from .callbacks import EarlyStopper
+
+            if not any(isinstance(cb, EarlyStopper) for cb in callbacks):
+                callbacks.append(EarlyStopper(options.early_stopping))
+        measurer = self.measurer or ProgramMeasurer(
+            tasks[0].hardware_params, seed=options.seed
+        )
+        errors_before = measurer.error_count
+        best_costs = scheduler.tune(
+            options.num_measure_trials,
+            options.num_measures_per_round,
+            measurer=measurer,
+            callbacks=callbacks,
+        )
+        return TuningResult(
+            tasks=list(tasks),
+            best_costs=list(best_costs),
+            best_states=scheduler.best_states(),
+            history=[(r.total_trials, r.objective_value) for r in scheduler.records],
+            network_latencies={
+                name: scheduler.dnn_latency(index) for index, name in enumerate(networks)
+            },
+            scheduler=scheduler,
+            num_trials=scheduler.total_trials,
+            num_errors=measurer.error_count - errors_before,
+        )

@@ -21,6 +21,8 @@ from repro.workloads import conv_layer, make_op_dag, single_op_shape_configs
 
 from ..conftest import make_matmul_relu_dag
 
+pytestmark = pytest.mark.slow
+
 
 def test_full_flow_single_operator_cpu(tmp_path):
     """Tune one conv2d, log it, re-apply the best record and verify the cost."""

@@ -62,8 +62,11 @@ def test_sampled_programs_preserve_iteration_space(m, n, k, seed):
     sketches = generate_sketches(task)
     state = sample_complete_program(task, sketches, rng)
     # The stage holding the matmul computation covers exactly m*n*k points.
-    name = "C.cache" if state.has_stage("C.cache") else "C"
-    assert state.stage(name).iteration_count() == m * n * k
+    # Which stage that is depends on the sampled structure: a cache stage
+    # (C.cache) or an rfactor stage (C.rf) takes over the heavy loop nest,
+    # leaving the original stage with only the residual reduction.
+    matmul_stages = [s for s in state.stages if s.name == "C" or s.name.startswith("C.")]
+    assert max(s.iteration_count() for s in matmul_stages) == m * n * k
     # And the program is simulatable with a positive finite cost.
     cost = CostSimulator(task.hardware_params).estimate(state)
     assert np.isfinite(cost) and cost > 0

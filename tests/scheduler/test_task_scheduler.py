@@ -148,6 +148,7 @@ def test_multi_dnn_objective_with_geomean():
     assert scheduler.objective_value() < 0  # a (negated) speedup
 
 
+@pytest.mark.slow
 def test_real_policies_integration_small():
     """End-to-end with real SketchPolicies on tiny budgets."""
     tasks = [

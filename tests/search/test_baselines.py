@@ -93,6 +93,7 @@ def test_library_baseline_with_avx512_is_faster(task):
     assert avx.best_cost <= base.best_cost
 
 
+@pytest.mark.slow
 def test_ansor_matches_or_beats_limited_space(task):
     """Key qualitative claim of §7.1: given enough trials, the full space
     finds programs at least as good as the template-like restricted space.

@@ -67,6 +67,7 @@ def test_search_beats_naive_schedule(task):
     assert policy.best_cost < naive / 5
 
 
+@pytest.mark.slow
 def test_search_finds_programs_better_than_random_sampling(task):
     """The fine-tuned search should beat pure random sampling with the same
     measurement budget (the Figure 7 'No fine-tuning' comparison)."""
@@ -96,6 +97,7 @@ def test_sketches_cached(task):
     assert policy.sketches is first
 
 
+@pytest.mark.slow
 def test_early_stopping(task):
     policy = _policy(task)
     options = TuningOptions(num_measure_trials=1000, num_measures_per_round=8, early_stopping=2)

@@ -1,8 +1,10 @@
-"""Tests for the top-level auto_schedule API."""
+"""Tests for the deprecated auto_schedule wrappers (now thin Tuner shims)."""
 
 import math
 
 import pytest
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 from repro import SearchTask, TuningOptions, auto_schedule, auto_schedule_networks, intel_cpu
 from repro.hardware import CostSimulator

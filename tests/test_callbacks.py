@@ -1,0 +1,249 @@
+"""Unit tests for the measure-callback pipeline."""
+
+import io
+
+import pytest
+
+from repro import (
+    EarlyStopper,
+    MeasureCallback,
+    MeasureEvent,
+    ProgressLogger,
+    SearchTask,
+    StopTuning,
+    TuningOptions,
+    intel_cpu,
+)
+from repro.callbacks import fire_round
+from repro.hardware import ProgramMeasurer
+from repro.scheduler import TaskScheduler
+from repro.search import SketchPolicy
+
+from .conftest import make_matmul_dag, make_matmul_relu_dag
+
+
+def _event(task, policy, num_trials, best_cost):
+    return MeasureEvent(
+        task=task, policy=policy, inputs=[], results=[],
+        num_trials=num_trials, best_cost=best_cost,
+    )
+
+
+@pytest.fixture
+def task():
+    return SearchTask(make_matmul_relu_dag(64, 64, 64), intel_cpu(), desc="mm64")
+
+
+def test_early_stopper_requires_positive_patience():
+    with pytest.raises(ValueError):
+        EarlyStopper(0)
+
+
+def test_early_stopper_tracks_improvement_per_policy(task, intel_hardware):
+    # One policy per task, as the task scheduler builds them; identical
+    # workloads (same workload_key) must not share a staleness counter.
+    other = SearchTask(make_matmul_dag(32, 32, 32), intel_hardware, desc="mm32")
+    policy = SketchPolicy(task)
+    other_policy = SketchPolicy(other)
+    stopper = EarlyStopper(patience=2)
+
+    stopper.on_round(_event(task, policy, 8, 1.0))   # first observation: improves
+    stopper.on_round(_event(task, policy, 16, 1.0))  # stale 1
+    # a different policy does not reset (or trip) the first one's counter
+    stopper.on_round(_event(other, other_policy, 8, 5.0))
+    with pytest.raises(StopTuning):
+        stopper.on_round(_event(task, policy, 24, 1.0))  # stale 2 -> stop
+    # the other policy keeps tuning
+    stopper.on_round(_event(other, other_policy, 16, 4.0))
+
+
+def test_early_stopper_separates_duplicate_workloads(task):
+    # Two policies over the SAME task (equal workload keys): each gets its
+    # own counter, so one stalling does not exhaust the other.
+    stalling, improving = SketchPolicy(task, seed=0), SketchPolicy(task, seed=1)
+    stopper = EarlyStopper(patience=1)
+    stopper.on_round(_event(task, stalling, 8, 1.0))
+    stopper.on_round(_event(task, improving, 8, 2.0))  # worse cost, but its own first round
+    stopper.on_round(_event(task, improving, 16, 1.5))  # still improving itself
+    with pytest.raises(StopTuning):
+        stopper.on_round(_event(task, stalling, 16, 1.0))
+
+
+def test_early_stopper_min_trials_defers_stop(task):
+    policy = SketchPolicy(task)
+    stopper = EarlyStopper(patience=1, min_trials=32)
+    stopper.on_round(_event(task, policy, 8, 1.0))
+    stopper.on_round(_event(task, policy, 16, 1.0))  # stale but below min_trials
+    with pytest.raises(StopTuning):
+        stopper.on_round(_event(task, policy, 32, 1.0))
+
+
+def test_fire_round_runs_every_callback_before_reraising(task):
+    seen = []
+
+    class Recorder(MeasureCallback):
+        def on_round(self, event):
+            seen.append(event.num_trials)
+
+    class Stopper(MeasureCallback):
+        def on_round(self, event):
+            raise StopTuning("stop")
+
+    policy = SketchPolicy(task)
+    with pytest.raises(StopTuning):
+        # the stopper fires first, but the recorder still sees the round
+        fire_round([Stopper(), Recorder()], _event(task, policy, 8, 1.0))
+    assert seen == [8]
+
+
+def test_progress_logger_reports_measure_errors(task):
+    from repro.hardware.measurer import MeasureResult
+
+    stream = io.StringIO()
+    logger = ProgressLogger(stream=stream)
+    policy = SketchPolicy(task)
+    event = _event(task, policy, 8, 1.0)
+    event.results = [MeasureResult(costs=[], error="ValueError: bad schedule")]
+    logger.on_round(event)
+    assert "errors=1" in stream.getvalue()
+
+
+def test_scheduler_marks_early_stopped_tasks_exhausted(intel_hardware):
+    tasks = [
+        SearchTask(make_matmul_relu_dag(64, 64, 64), intel_hardware, desc="a"),
+        SearchTask(make_matmul_relu_dag(96, 96, 96), intel_hardware, desc="b"),
+    ]
+    scheduler = TaskScheduler(tasks, seed=0)
+    measurer = ProgramMeasurer(intel_hardware, seed=0)
+    # patience 1: each task stops after its first non-improving round
+    scheduler.tune(200, num_measures_per_round=8, measurer=measurer,
+                   callbacks=[EarlyStopper(patience=1)])
+    assert all(scheduler.exhausted)
+    assert scheduler.total_trials < 200
+    # both tasks still got tuned before stopping
+    assert all(a > 0 for a in scheduler.allocations)
+
+
+def test_scheduler_fires_scheduler_round_hook(intel_hardware):
+    rounds = []
+
+    class SchedulerWatcher(MeasureCallback):
+        def on_scheduler_round(self, scheduler, record):
+            rounds.append((record.selected_task, record.total_trials))
+
+    tasks = [SearchTask(make_matmul_relu_dag(64, 64, 64), intel_hardware, desc="a")]
+    scheduler = TaskScheduler(tasks, seed=0)
+    scheduler.tune(16, num_measures_per_round=8,
+                   measurer=ProgramMeasurer(intel_hardware, seed=0),
+                   callbacks=[SchedulerWatcher()])
+    assert rounds == [(0, 8), (0, 16)]
+
+
+def test_stop_tuning_from_scheduler_round_hook_stops_gracefully(intel_hardware):
+    class GlobalBudget(MeasureCallback):
+        def on_scheduler_round(self, scheduler, record):
+            if record.total_trials >= 16:
+                raise StopTuning("global budget reached")
+
+    tasks = [SearchTask(make_matmul_relu_dag(64, 64, 64), intel_hardware, desc="a")]
+    scheduler = TaskScheduler(tasks, seed=0)
+    best = scheduler.tune(64, num_measures_per_round=8,
+                          measurer=ProgramMeasurer(intel_hardware, seed=0),
+                          callbacks=[GlobalBudget()])
+    # the session ended gracefully with results instead of raising
+    assert scheduler.total_trials == 16
+    assert len(best) == 1
+
+
+def test_policy_tune_supports_legacy_two_argument_subclasses(task):
+    """Pre-0.2.0 subclasses override continue_search_one_round without the
+    callbacks parameter; tune() fires events at the loop level so they keep
+    working — including with callbacks, verbose and early stopping."""
+
+    class LegacyPolicy(SketchPolicy):
+        def continue_search_one_round(self, num_measures, measurer):
+            return super().continue_search_one_round(num_measures, measurer)
+
+    policy = LegacyPolicy(task, seed=0)
+    policy.tune(TuningOptions(num_measure_trials=16, num_measures_per_round=8),
+                ProgramMeasurer(task.hardware_params, seed=0))
+    assert policy.num_trials == 16
+
+    # with callbacks and options-driven early stopping
+    rounds = []
+
+    class Watcher(MeasureCallback):
+        def on_round(self, event):
+            rounds.append(event.num_trials)
+
+    policy2 = LegacyPolicy(task, seed=0)
+    policy2.tune(TuningOptions(num_measure_trials=96, num_measures_per_round=8,
+                               early_stopping=1),
+                 ProgramMeasurer(task.hardware_params, seed=0),
+                 callbacks=[Watcher()])
+    assert policy2.num_trials < 96  # early stopping honored
+    assert rounds  # the watcher observed every round
+
+    # and driven by the task scheduler with callbacks
+    scheduler = TaskScheduler([task], policy_factory=lambda t, m, s: LegacyPolicy(t, cost_model=m, seed=s), seed=0)
+    scheduler.tune(16, num_measures_per_round=8,
+                   measurer=ProgramMeasurer(task.hardware_params, seed=0),
+                   callbacks=[Watcher()])
+    assert scheduler.total_trials == 16
+
+
+def test_scheduler_round_hook_runs_all_callbacks_before_stopping(intel_hardware):
+    """A StopTuning from one callback's on_scheduler_round must not hide the
+    final record from callbacks ordered after it."""
+    seen = []
+
+    class BudgetStopper(MeasureCallback):
+        def on_scheduler_round(self, scheduler, record):
+            if record.total_trials >= 8:
+                raise StopTuning("budget")
+
+    class Recorder(MeasureCallback):
+        def on_scheduler_round(self, scheduler, record):
+            seen.append(record.total_trials)
+
+    tasks = [SearchTask(make_matmul_relu_dag(64, 64, 64), intel_hardware, desc="a")]
+    scheduler = TaskScheduler(tasks, seed=0)
+    scheduler.tune(64, num_measures_per_round=8,
+                   measurer=ProgramMeasurer(intel_hardware, seed=0),
+                   callbacks=[BudgetStopper(), Recorder()])
+    assert scheduler.total_trials == 8
+    assert seen == [8]  # the recorder saw the stopping round
+
+
+def test_continue_search_one_round_fires_callbacks_directly(task, measurer):
+    """The callbacks parameter of continue_search_one_round serves external
+    drivers that bypass tune(); events must fire from there too."""
+    seen = []
+
+    class Watcher(MeasureCallback):
+        def on_round(self, event):
+            seen.append((event.num_trials, len(event.inputs)))
+
+    policy = SketchPolicy(task, seed=0)
+    inputs, _ = policy.continue_search_one_round(8, measurer, [Watcher()])
+    assert seen == [(len(inputs), len(inputs))]
+
+
+def test_early_stopper_resets_between_sessions(task):
+    stopper = EarlyStopper(patience=1)
+    policy = SketchPolicy(task, seed=0)
+    stopper.on_tuning_start(policy)
+    stopper.on_round(_event(task, policy, 8, 1.0))
+    with pytest.raises(StopTuning):
+        stopper.on_round(_event(task, policy, 16, 1.0))
+    # a new session (possibly with a recycled policy id) starts clean
+    stopper.on_tuning_start(policy)
+    stopper.on_round(_event(task, policy, 8, 2.0))  # no inherited staleness
+
+
+def test_policy_tune_injects_early_stopper_from_options(task):
+    policy = SketchPolicy(task, seed=0)
+    policy.tune(TuningOptions(num_measure_trials=96, num_measures_per_round=8,
+                              early_stopping=1),
+                ProgramMeasurer(task.hardware_params, seed=0))
+    assert policy.num_trials < 96

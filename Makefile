@@ -1,8 +1,12 @@
 # Development shortcuts.  The tier-1 gate is `make test`.
+#
+# Performance: `make throughput` runs the search-hot-path microbenchmark
+# (predicted states/sec, written to BENCH_search_throughput.json) and
+# `make profile` runs a small evolution under cProfile (top-25 cumulative).
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench install
+.PHONY: test test-fast bench throughput profile install help
 
 install:
 	pip install -e .
@@ -18,3 +22,19 @@ test-fast:
 # Only the paper-figure benchmarks (all marked slow).
 bench:
 	$(PYTEST) -q benchmarks
+
+# Search-throughput perf baseline: batched vs seed per-row scoring (fast).
+throughput:
+	$(PYTEST) -q -s benchmarks/test_search_throughput.py
+
+# Profile the search hot path: a small evolution run under cProfile.
+profile:
+	PYTHONPATH=src python benchmarks/profile_search.py
+
+help:
+	@echo "make test        - tier-1 gate: full suite, stop at first failure"
+	@echo "make test-fast   - quick loop, skips tests marked slow"
+	@echo "make bench       - paper-figure benchmarks (slow)"
+	@echo "make throughput  - search states/sec baseline -> BENCH_search_throughput.json"
+	@echo "make profile     - cProfile a small evolution run (top-25 cumulative)"
+	@echo "make install     - pip install -e ."

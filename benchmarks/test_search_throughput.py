@@ -1,0 +1,112 @@
+"""Search-hot-path microbenchmark: predicted states per second.
+
+The paper's headline claim (§7.3) is search *efficiency*, so the speed at
+which the searcher can score candidate programs with the learned cost model
+is a first-class quantity.  This benchmark times the evolution-loop scoring
+pattern — the same population re-scored over several generations, as the
+evolution does with its surviving elites — through two pipelines:
+
+* **seed**: the original per-row implementation — every state is re-lowered
+  and re-featurized from scratch each generation, and the GBDT walks one
+  row at a time in pure Python (``predict_rowwise``),
+* **batched**: the cached/vectorized pipeline — memoized lowering, the LRU
+  feature cache, one stacked booster call per generation with vectorized
+  tree traversal.
+
+It asserts bit-level score parity between the two, requires the batched
+pipeline to be at least 5x faster, and writes ``BENCH_search_throughput.json``
+at the repo root as the tracked perf baseline.  No hardware measurement is
+involved; only model inference is timed.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codegen.lowering import clear_lowering_cache
+from repro.cost_model import LearnedCostModel
+from repro.cost_model.features import clear_feature_cache, extract_program_features
+from repro.hardware import MeasureInput, ProgramMeasurer, intel_cpu
+from repro.search import generate_sketches, sample_initial_population
+from repro.task import SearchTask
+from repro.workloads import matmul_relu
+
+GENERATIONS = 8
+POPULATION = 40
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_search_throughput.json"
+
+
+def _setup():
+    task = SearchTask(matmul_relu(64, 64, 64), intel_cpu())
+    rng = np.random.default_rng(0)
+    population = sample_initial_population(task, generate_sketches(task), POPULATION, rng)
+    measurer = ProgramMeasurer(intel_cpu(), seed=0)
+    inputs = [MeasureInput(task, s) for s in population[:12]]
+    model = LearnedCostModel(n_rounds=30, seed=0)
+    model.update(inputs, measurer.measure(inputs))
+    assert model.is_trained
+    return task, model, population
+
+
+def _seed_scores_one_round(model, population):
+    """The pre-optimization evolution-generation scoring loop."""
+    return np.array([
+        float(model.booster.predict_rowwise(
+            extract_program_features(state, use_cache=False)
+        ).sum())
+        for state in population
+    ])
+
+
+def run_throughput():
+    task, model, population = _setup()
+    n_evals = GENERATIONS * len(population)
+
+    # --- seed per-row pipeline ------------------------------------------------
+    start = time.perf_counter()
+    for _ in range(GENERATIONS):
+        seed_scores = _seed_scores_one_round(model, population)
+    seed_elapsed = time.perf_counter() - start
+
+    # --- batched/cached pipeline ---------------------------------------------
+    clear_lowering_cache()
+    clear_feature_cache()
+    start = time.perf_counter()
+    for _ in range(GENERATIONS):
+        batched_scores = model.predict(task, population)
+    batched_elapsed = time.perf_counter() - start
+
+    parity = bool(np.allclose(batched_scores, seed_scores, rtol=0, atol=0))
+    result = {
+        "population": len(population),
+        "generations": GENERATIONS,
+        "states_scored": n_evals,
+        "seed_seconds": seed_elapsed,
+        "batched_seconds": batched_elapsed,
+        "seed_states_per_sec": n_evals / seed_elapsed,
+        "batched_states_per_sec": n_evals / batched_elapsed,
+        "speedup": seed_elapsed / batched_elapsed,
+        "parity": parity,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+# Marked slow to keep the load-sensitive timing assertion out of the quick
+# `-m "not slow"` gates; CI runs it once by explicit path (takes ~1 s).
+@pytest.mark.slow
+def test_search_throughput_batched_vs_seed():
+    result = run_throughput()
+    print("\n=== search throughput: predicted states/sec ===")
+    print(f"population x generations : {result['population']} x {result['generations']}")
+    print(f"seed per-row pipeline    : {result['seed_states_per_sec']:.0f} states/s")
+    print(f"batched/cached pipeline  : {result['batched_states_per_sec']:.0f} states/s")
+    print(f"speedup                  : {result['speedup']:.1f}x")
+    print(f"results written to       : {RESULT_PATH.name}")
+    assert result["parity"], "batched scores diverged from the per-row reference"
+    assert result["speedup"] >= 5.0, (
+        f"batched pipeline is only {result['speedup']:.2f}x the seed path (need >= 5x)"
+    )

@@ -14,6 +14,23 @@ used by the paper's evaluation.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-reproduction results.
+
+Performance
+-----------
+The search hot path — scoring candidate programs with the cost model —
+runs through a batched, cached inference pipeline: ``lower_state`` is
+memoized behind ``State.fingerprint()`` (one lowering per distinct program,
+shared by mutation validation, featurization, the simulator and the
+printer); feature matrices sit in an LRU cache so surviving programs are
+featurized once per search, not once per generation; the GBDT routes whole
+feature matrices through flattened node arrays instead of per-row Python
+traversals; and the evolutionary loop carries elite scores across
+generations so each distinct program is predicted exactly once.  The
+tracked baseline is ``benchmarks/test_search_throughput.py`` (predicted
+states/sec, written to ``BENCH_search_throughput.json``); profile the loop
+with ``make profile``.  Every fast path is bit-compatible with the per-row
+reference (``predict_rowwise``, ``extract_program_features(use_cache=False)``),
+enforced by ``tests/cost_model/test_predict_parity.py``.
 """
 
 from . import te

@@ -20,6 +20,7 @@ The lowering resolves, for every non-inlined stage:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,7 +45,14 @@ from ..te.expr import (
 )
 from ..te.operation import ComputeOp, PlaceholderOp
 
-__all__ = ["BufferAccess", "StageNest", "LoweredProgram", "lower_state", "linear_coefficients"]
+__all__ = [
+    "BufferAccess",
+    "StageNest",
+    "LoweredProgram",
+    "lower_state",
+    "clear_lowering_cache",
+    "linear_coefficients",
+]
 
 DTYPE_BYTES = {"float32": 4, "float64": 8, "float16": 2, "int32": 4, "int8": 1}
 
@@ -363,8 +371,43 @@ def _shrink_attached_nest(nest: StageNest, parent: StageNest, attach_index: int)
         _shrink_loops_to_region(nest.loops, needed, child_axis_extents)
 
 
-def lower_state(state: State) -> LoweredProgram:
-    """Lower a state into its loop-nest program description."""
+# Memoized lowering.  The same program is lowered by several clients per
+# search step (mutation validation, feature extraction, the simulator, the
+# printer, node scoring), so results are cached by state fingerprint.  Entries
+# pin their DAG so a recycled ``id(dag)`` can never alias a live key, and the
+# nests copy their iterators so later in-place mutation of the source state
+# (e.g. an annotation step) cannot leak into a cached program.
+_LOWERING_CACHE: "OrderedDict[Tuple[int, str], Tuple[ComputeDAG, LoweredProgram]]" = OrderedDict()
+_LOWERING_CACHE_SIZE = 2048
+
+
+def clear_lowering_cache() -> None:
+    _LOWERING_CACHE.clear()
+
+
+def lower_state(state: State, use_cache: bool = True) -> LoweredProgram:
+    """Lower a state into its loop-nest program description (memoized)."""
+    key = None
+    if use_cache:
+        key = (id(state.dag), state.fingerprint())
+        entry = _LOWERING_CACHE.get(key)
+        if entry is not None and entry[0] is state.dag:
+            _LOWERING_CACHE.move_to_end(key)
+            return entry[1]
+    program = _lower_state_uncached(state)
+    if key is not None:
+        _LOWERING_CACHE[key] = (state.dag, program)
+        if len(_LOWERING_CACHE) > _LOWERING_CACHE_SIZE:
+            _LOWERING_CACHE.popitem(last=False)
+    return program
+
+
+def _lower_state_uncached(state: State) -> LoweredProgram:
+    # Lower a private snapshot: the program (its ``.state``, nest stages and
+    # iterators) must stay consistent even if the source state is mutated in
+    # place after a cached lowering, so later in-place steps can never leak
+    # into a cache hit.
+    state = state.copy()
     nests: Dict[str, StageNest] = {}
     for stage in state.stages:
         if stage.is_placeholder() or stage.is_inlined():

@@ -23,11 +23,17 @@ Ansor implementation's feature scaling.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..codegen.lowering import BufferAccess, LoweredProgram, StageNest, lower_state
+from ..hardware.simulator import (
+    _access_footprint_bytes,
+    _access_stride_elements,
+    _loop_affects_access,
+)
 from ..ir.loop import Iterator
 from ..ir.state import State
 from ..te.expr import (
@@ -48,7 +54,14 @@ from ..te.expr import (
 )
 from ..te.operation import ComputeOp
 
-__all__ = ["FEATURE_LENGTH", "extract_nest_features", "extract_program_features", "feature_names"]
+__all__ = [
+    "FEATURE_LENGTH",
+    "extract_nest_features",
+    "extract_program_features",
+    "extract_program_features_batch",
+    "clear_feature_cache",
+    "feature_names",
+]
 
 _MAX_BUFFERS = 5
 _CURVE_SAMPLES = 10
@@ -197,8 +210,6 @@ def _arithmetic_intensity_curve(nest: StageNest) -> List[float]:
         bytes_accessed = 0.0
         for access in nest.accesses:
             # distinct bytes touched by the suffix loops
-            from ..hardware.simulator import _access_footprint_bytes
-
             bytes_accessed += _access_footprint_bytes(access, suffix)
         intensity = flops / max(bytes_accessed, 1.0)
         points.append(intensity)
@@ -221,8 +232,6 @@ def _buffer_features(nest: StageNest) -> List[float]:
     loops = list(nest.outer_context) + list(nest.loops)
     total_iters = max(nest.total_iterations(), 1)
     inner = nest.loops[-1] if nest.loops else None
-
-    from ..hardware.simulator import _access_footprint_bytes, _access_stride_elements, _loop_affects_access
 
     # Merge multiple accesses to the same buffer into one record.
     merged: Dict[str, Dict] = {}
@@ -364,10 +373,45 @@ def feature_names() -> List[str]:
 FEATURE_LENGTH = len(feature_names())
 
 
-def extract_program_features(state: State) -> np.ndarray:
+# Feature matrices are pure functions of (dag, step history), so they are
+# cached by state fingerprint: during evolutionary search the same surviving
+# programs are featurized once per search instead of once per generation.
+# Cached matrices are frozen (non-writeable) so no caller can corrupt them.
+_FEATURE_CACHE: "OrderedDict[Tuple[int, str], Tuple[object, np.ndarray]]" = OrderedDict()
+_FEATURE_CACHE_SIZE = 4096
+
+
+def clear_feature_cache() -> None:
+    _FEATURE_CACHE.clear()
+
+
+def extract_program_features(state: State, use_cache: bool = True) -> np.ndarray:
     """Feature matrix of a complete program: one row per innermost statement."""
-    program = lower_state(state)
+    key = None
+    if use_cache:
+        key = (id(state.dag), state.fingerprint())
+        entry = _FEATURE_CACHE.get(key)
+        if entry is not None and entry[0] is state.dag:
+            _FEATURE_CACHE.move_to_end(key)
+            return entry[1]
+    program = lower_state(state, use_cache=use_cache)
     rows = [extract_nest_features(nest) for nest in program.all_nests()]
-    if not rows:
-        return np.zeros((0, FEATURE_LENGTH))
-    return np.vstack(rows)
+    features = np.vstack(rows) if rows else np.zeros((0, FEATURE_LENGTH))
+    if key is not None:
+        features.flags.writeable = False
+        _FEATURE_CACHE[key] = (state.dag, features)
+        if len(_FEATURE_CACHE) > _FEATURE_CACHE_SIZE:
+            _FEATURE_CACHE.popitem(last=False)
+    return features
+
+
+def extract_program_features_batch(states: Sequence[State]) -> List[Optional[np.ndarray]]:
+    """Feature matrices for a batch of states (cached); ``None`` where a state
+    fails to lower or featurize instead of raising."""
+    out: List[Optional[np.ndarray]] = []
+    for state in states:
+        try:
+            out.append(extract_program_features(state))
+        except Exception:
+            out.append(None)
+    return out

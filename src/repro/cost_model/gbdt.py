@@ -81,7 +81,18 @@ class RegressionTree:
 
         self.nodes = []
         self._build(binned, X, y, w, np.arange(n), depth=0, rng=rng)
+        self._flatten()
         return self
+
+    def _flatten(self) -> None:
+        """Pack the node list into parallel NumPy arrays for batched predict."""
+        n = len(self.nodes)
+        self._feature = np.fromiter((nd.feature for nd in self.nodes), dtype=np.int64, count=n)
+        self._threshold = np.fromiter((nd.threshold for nd in self.nodes), dtype=np.float64, count=n)
+        self._left = np.fromiter((nd.left for nd in self.nodes), dtype=np.int64, count=n)
+        self._right = np.fromiter((nd.right for nd in self.nodes), dtype=np.int64, count=n)
+        self._value = np.fromiter((nd.value for nd in self.nodes), dtype=np.float64, count=n)
+        self._is_leaf = np.fromiter((nd.is_leaf for nd in self.nodes), dtype=bool, count=n)
 
     def _build(
         self,
@@ -178,6 +189,33 @@ class RegressionTree:
 
     # ------------------------------------------------------------------
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Route the whole matrix through the tree by vectorized level-stepping.
+
+        Every row performs exactly the comparisons of the per-row traversal
+        (same float64 operands), so the result is bit-identical to
+        :meth:`predict_rowwise`.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        n = len(X)
+        if n == 0:
+            return np.empty(0)
+        if not hasattr(self, "_is_leaf"):
+            self._flatten()
+        idx = np.zeros(n, dtype=np.int64)
+        active = np.nonzero(~self._is_leaf[idx])[0]
+        while len(active):
+            node = idx[active]
+            go_left = X[active, self._feature[node]] <= self._threshold[node]
+            idx[active] = np.where(go_left, self._left[node], self._right[node])
+            active = active[~self._is_leaf[idx[active]]]
+        return self._value[idx]
+
+    def predict_rowwise(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-row traversal (the pre-vectorization implementation).
+
+        Kept as the parity oracle for tests and the seed baseline of the
+        search-throughput benchmark.
+        """
         X = np.asarray(X, dtype=np.float64)
         out = np.empty(len(X))
         for i, row in enumerate(X):
@@ -271,6 +309,14 @@ class GBDTRegressor:
         pred = np.full(len(X), self.base_score)
         for tree in self.trees:
             pred += self.learning_rate * tree.predict(X)
+        return pred
+
+    def predict_rowwise(self, X: np.ndarray) -> np.ndarray:
+        """Reference prediction through the per-row tree traversals."""
+        X = np.asarray(X, dtype=np.float64)
+        pred = np.full(len(X), self.base_score)
+        for tree in self.trees:
+            pred += self.learning_rate * tree.predict_rowwise(X)
         return pred
 
     @property

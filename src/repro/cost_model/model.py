@@ -21,7 +21,7 @@ import numpy as np
 
 from ..hardware.measurer import MeasureInput, MeasureResult
 from ..ir.state import State
-from .features import FEATURE_LENGTH, extract_program_features
+from .features import FEATURE_LENGTH, extract_program_features, extract_program_features_batch
 from .gbdt import GBDTRegressor
 
 __all__ = ["CostModel", "RandomCostModel", "LearnedCostModel"]
@@ -123,14 +123,14 @@ class LearnedCostModel(CostModel):
 
     def _normalized_labels(self) -> np.ndarray:
         """Throughputs normalized to [0, 1] within each workload (DAG)."""
-        throughputs = np.asarray(self._throughputs)
-        labels = np.zeros_like(throughputs)
-        best: Dict[str, float] = {}
-        for key, value in zip(self._workloads, throughputs):
-            best[key] = max(best.get(key, 0.0), value)
-        for i, (key, value) in enumerate(zip(self._workloads, throughputs)):
-            labels[i] = value / best[key] if best[key] > 0 else 0.0
-        return labels
+        throughputs = np.asarray(self._throughputs, dtype=np.float64)
+        _, group = np.unique(np.asarray(self._workloads, dtype=object), return_inverse=True)
+        best = np.zeros(group.max() + 1 if len(group) else 0)
+        np.maximum.at(best, group, throughputs)
+        denom = best[group]
+        return np.divide(
+            throughputs, denom, out=np.zeros_like(throughputs), where=denom > 0
+        )
 
     def _train(self) -> None:
         if not self._features:
@@ -166,21 +166,28 @@ class LearnedCostModel(CostModel):
     # Prediction
     # ------------------------------------------------------------------
     def predict(self, task, states: Sequence[State]) -> np.ndarray:
+        """Batched prediction: featurize (cached), stack every statement of
+        every state into one matrix, run the booster once, and sum rows per
+        program.  Equivalent to per-state prediction, without the per-state
+        Python round trips."""
         if not states:
             return np.zeros(0)
         if not self._trained:
             return self.rng.random(len(states))
-        scores = np.zeros(len(states))
-        for i, state in enumerate(states):
-            try:
-                features = extract_program_features(state)
-            except Exception:
-                scores[i] = -1e9
-                continue
-            if features.shape[0] == 0:
-                scores[i] = -1e9
-                continue
-            scores[i] = float(self.booster.predict(features).sum())
+        feature_list = extract_program_features_batch(states)
+        scores = np.full(len(states), -1e9)
+        valid = [i for i, f in enumerate(feature_list) if f is not None and f.shape[0] > 0]
+        if not valid:
+            return scores
+        stacked = np.vstack([feature_list[i] for i in valid])
+        rows = self.booster.predict(stacked)
+        offset = 0
+        for i in valid:
+            count = feature_list[i].shape[0]
+            # Per-program slice sum: the same reduction the per-state path
+            # performs, so scores match it bit for bit.
+            scores[i] = float(rows[offset: offset + count].sum())
+            offset += count
         return scores
 
     def predict_stages(self, task, state: State) -> np.ndarray:

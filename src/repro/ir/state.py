@@ -39,6 +39,7 @@ class State:
         self.dag = dag
         self.stages = stages
         self.transform_steps: List[Step] = list(transform_steps or [])
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -51,6 +52,7 @@ class State:
 
     def copy(self) -> "State":
         new = State(self.dag, [s.copy() for s in self.stages], list(self.transform_steps))
+        new._fingerprint = self._fingerprint
         return new
 
     @classmethod
@@ -113,6 +115,7 @@ class State:
     def apply_step(self, step: Step) -> "State":
         step.apply_to(self)
         self.transform_steps.append(step)
+        self._fingerprint = None
         return self
 
     # Internal helpers used by steps --------------------------------------
@@ -213,6 +216,20 @@ class State:
 
     def serialize_steps(self) -> List[dict]:
         return [step.to_dict() for step in self.transform_steps]
+
+    def fingerprint(self) -> str:
+        """A stable identity of the program: its serialized step history.
+
+        States reached through the same step sequence on the same DAG lower
+        to the same program, so this string keys the lowering / feature /
+        score caches and the search-level dedup sets.  It is computed once
+        and invalidated whenever a step is appended; steps themselves must
+        never be mutated in place on a live state (the evolution operators
+        always copy steps before editing, and replay the copies).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = repr(self.serialize_steps())
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     def print_program(self) -> str:

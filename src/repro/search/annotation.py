@@ -271,7 +271,7 @@ def sample_initial_population(
             state = sample_complete_program(task, sketches, rng, options)
         except Exception:
             continue
-        key = repr(state.serialize_steps())
+        key = state.fingerprint()
         if key in seen:
             continue
         seen.add(key)

@@ -25,7 +25,7 @@ __all__ = ["EvolutionarySearch"]
 
 
 def _state_key(state: State) -> str:
-    return repr(state.serialize_steps())
+    return state.fingerprint()
 
 
 @dataclass
@@ -58,10 +58,20 @@ class EvolutionarySearch:
             mutation_prob=mutation_prob,
         )
         self.rng = np.random.default_rng(seed)
+        #: fingerprint -> per-node scores, valid for the duration of one
+        #: ``search()`` call (the model does not retrain mid-search)
+        self._node_scores_cache: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     def _node_scores(self, state: State) -> Dict[str, float]:
-        """Per-DAG-node scores used by crossover to pick the better parent."""
+        """Per-DAG-node scores used by crossover to pick the better parent.
+
+        Cached per program, so each parent is scored once per search rather
+        than once per crossover attempt."""
+        key = _state_key(state)
+        cached = self._node_scores_cache.get(key)
+        if cached is not None:
+            return cached
         try:
             stage_scores = self.cost_model.predict_stages(self.task, state)
         except Exception:
@@ -72,16 +82,45 @@ class EvolutionarySearch:
         try:
             nests = lower_state(state).all_nests()
         except Exception:
+            self._node_scores_cache[key] = scores
             return scores
         for idx, nest in enumerate(nests):
             node = nest.name.split(".")[0]
             value = float(stage_scores[idx]) if idx < len(stage_scores) else 0.0
             scores[node] = scores.get(node, 0.0) + value
+        self._node_scores_cache[key] = scores
         return scores
 
     def _select_parent(self, population: List[State], probabilities: np.ndarray) -> State:
         idx = int(self.rng.choice(len(population), p=probabilities))
         return population[idx]
+
+    def _score_population(
+        self, population: List[State], score_cache: Dict[str, float]
+    ) -> np.ndarray:
+        """Scores for ``population``, predicting only not-yet-seen programs.
+
+        One batched ``cost_model.predict`` call covers all fresh programs, and
+        every distinct program is predicted exactly once per search: elites
+        (and any re-discovered program) carry their score from the generation
+        that first produced them.
+        """
+        fresh: List[State] = []
+        fresh_keys: List[str] = []
+        fresh_seen: set = set()
+        for state in population:
+            key = _state_key(state)
+            if key not in score_cache and key not in fresh_seen:
+                fresh.append(state)
+                fresh_keys.append(key)
+                fresh_seen.add(key)
+        if fresh:
+            predicted = np.asarray(
+                self.cost_model.predict(self.task, fresh), dtype=np.float64
+            )
+            for key, score in zip(fresh_keys, predicted):
+                score_cache[key] = float(score)
+        return np.asarray([score_cache[_state_key(s)] for s in population], dtype=np.float64)
 
     # ------------------------------------------------------------------
     def search(self, initial_population: Sequence[State], num_best: int) -> List[State]:
@@ -91,16 +130,21 @@ class EvolutionarySearch:
         if not population:
             return []
         options = self.options
+        self._node_scores_cache = {}
 
-        # Best-so-far across all generations, keyed by serialized steps.
+        # Best-so-far across all generations, keyed by program fingerprint.
         hall_of_fame: Dict[str, Tuple[float, State]] = {}
+        #: fingerprint -> predicted score, for the whole search
+        score_cache: Dict[str, float] = {}
 
-        for _ in range(options.num_generations):
-            scores = np.asarray(self.cost_model.predict(self.task, population), dtype=np.float64)
+        scores = self._score_population(population, score_cache)
+        for generation in range(options.num_generations + 1):
             for state, score in zip(population, scores):
                 key = _state_key(state)
                 if key not in hall_of_fame or score > hall_of_fame[key][0]:
                     hall_of_fame[key] = (float(score), state)
+            if generation == options.num_generations:
+                break
 
             # Selection probabilities proportional to fitness.
             shifted = scores - scores.min()
@@ -142,13 +186,9 @@ class EvolutionarySearch:
                 seen.add(key)
                 next_population.append(child)
             population = next_population
-
-        # Score the final generation too.
-        scores = np.asarray(self.cost_model.predict(self.task, population), dtype=np.float64)
-        for state, score in zip(population, scores):
-            key = _state_key(state)
-            if key not in hall_of_fame or score > hall_of_fame[key][0]:
-                hall_of_fame[key] = (float(score), state)
+            # Elites keep their carried scores; only the new offspring of this
+            # generation hit the cost model.
+            scores = self._score_population(population, score_cache)
 
         ranked = sorted(hall_of_fame.values(), key=lambda pair: -pair[0])
         return [state for _, state in ranked[:num_best]]

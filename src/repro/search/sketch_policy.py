@@ -34,7 +34,7 @@ __all__ = ["SketchPolicy"]
 
 
 def _state_key(state: State) -> str:
-    return repr(state.serialize_steps())
+    return state.fingerprint()
 
 
 @register_policy("sketch")

@@ -33,6 +33,7 @@ __all__ = [
     "single_op_shape_configs",
     "make_op_dag",
     "matmul",
+    "matmul_relu",
     "batch_matmul",
     "conv1d",
     "conv2d",
@@ -63,6 +64,16 @@ def matmul(m: int, n: int, k: int) -> ComputeDAG:
     rk = te.reduce_axis(k, "rk")
     C = te.compute((m, n), lambda i, j: te.sum_expr(A[i, rk] * B[rk, j], [rk]), name="C", tag="matmul")
     return ComputeDAG([C])
+
+
+def matmul_relu(m: int, n: int, k: int) -> ComputeDAG:
+    """Matrix multiplication followed by ReLU (the fusion benchmark workload)."""
+    A = te.placeholder((m, k), name="A")
+    B = te.placeholder((k, n), name="B")
+    rk = te.reduce_axis(k, "rk")
+    C = te.compute((m, n), lambda i, j: te.sum_expr(A[i, rk] * B[rk, j], [rk]), name="C", tag="matmul")
+    D = te.compute((m, n), lambda i, j: te.Max(C[i, j], te.const(0.0)), name="D", tag="relu")
+    return ComputeDAG([D])
 
 
 def batch_matmul(batch: int, m: int, n: int, k: int) -> ComputeDAG:

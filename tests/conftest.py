@@ -8,23 +8,15 @@ import pytest
 from repro import te
 from repro.hardware import CostSimulator, ProgramMeasurer, intel_cpu
 from repro.task import SearchTask
+from repro.workloads import matmul, matmul_relu
 
 
 def make_matmul_dag(m=64, n=64, k=64):
-    A = te.placeholder((m, k), name="A")
-    B = te.placeholder((k, n), name="B")
-    rk = te.reduce_axis(k, "rk")
-    C = te.compute((m, n), lambda i, j: te.sum_expr(A[i, rk] * B[rk, j], [rk]), name="C", tag="matmul")
-    return te.ComputeDAG([C])
+    return matmul(m, n, k)
 
 
 def make_matmul_relu_dag(m=64, n=64, k=64):
-    A = te.placeholder((m, k), name="A")
-    B = te.placeholder((k, n), name="B")
-    rk = te.reduce_axis(k, "rk")
-    C = te.compute((m, n), lambda i, j: te.sum_expr(A[i, rk] * B[rk, j], [rk]), name="C", tag="matmul")
-    D = te.compute((m, n), lambda i, j: te.Max(C[i, j], te.const(0.0)), name="D", tag="relu")
-    return te.ComputeDAG([D])
+    return matmul_relu(m, n, k)
 
 
 def make_norm_dag(batch=4, m=128, n=128):

@@ -1,0 +1,83 @@
+"""``State.fingerprint()``: a cached program identity that is invalidated by
+every step-appending transform (it keys the lowering / feature / score caches,
+so a stale fingerprint would mean a stale program everywhere downstream)."""
+
+import pytest
+
+from repro.ir.state import State
+
+from ..conftest import make_matmul_relu_dag
+
+
+def fresh_state():
+    return State.from_dag(make_matmul_relu_dag(64, 64, 64))
+
+
+# One entry per schedule primitive (i.e. per step-appending transform).
+# The matmul+relu DAG has stages A, B (placeholders), C (matmul, axes
+# i, j + reduce rk) and D (relu, axes i, j).
+TRANSFORMS = [
+    ("split", lambda s: s.split("C", 0, [8])),
+    ("fuse", lambda s: s.fuse("D", [0, 1])),
+    ("reorder", lambda s: s.reorder("C", [1, 0, 2])),
+    ("parallel", lambda s: s.parallel("C", 0)),
+    ("vectorize", lambda s: s.vectorize("D", 1)),
+    ("unroll", lambda s: s.unroll("C", 2)),
+    ("pragma", lambda s: s.pragma("C", "auto_unroll_max_step", 16)),
+    ("compute_at", lambda s: s.compute_at("C", "D", 0)),
+    ("compute_inline", lambda s: s.compute_inline("C")),
+    ("compute_root", lambda s: s.compute_root("C")),
+    ("cache_write", lambda s: s.cache_write("D")),
+    ("rfactor", lambda s: s.rfactor("C", 2)),
+]
+
+
+@pytest.mark.parametrize("name,apply", TRANSFORMS, ids=[n for n, _ in TRANSFORMS])
+def test_fingerprint_changes_after_every_transform(name, apply):
+    state = fresh_state()
+    before = state.fingerprint()
+    apply(state)
+    assert state.fingerprint() != before
+
+
+def test_fingerprint_changes_at_every_step_of_a_chain():
+    state = fresh_state()
+    seen = {state.fingerprint()}
+    state.split("C", 0, [8])
+    state.parallel("C", 0)
+    state.pragma("C", "auto_unroll_max_step", 64)
+    state.vectorize("D", 1)
+    # Re-walk the chain one step at a time and assert strict novelty.
+    state2 = fresh_state()
+    for step in state.transform_steps:
+        state2.apply_step(step.copy())
+        fp = state2.fingerprint()
+        assert fp not in seen
+        seen.add(fp)
+
+
+def test_equal_histories_share_a_fingerprint():
+    a = fresh_state().split("C", 0, [16]).parallel("C", 0)
+    b = State.from_steps(a.dag, [s.copy() for s in a.transform_steps])
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_copy_carries_fingerprint_until_it_diverges():
+    a = fresh_state().split("C", 0, [8])
+    fp = a.fingerprint()
+    b = a.copy()
+    assert b.fingerprint() == fp
+    b.parallel("C", 0)
+    assert b.fingerprint() != fp
+    assert a.fingerprint() == fp  # the original is untouched
+
+
+def test_fingerprint_matches_serialized_steps():
+    state = fresh_state().split("C", 0, [8]).vectorize("D", 1)
+    assert state.fingerprint() == repr(state.serialize_steps())
+
+
+def test_placeholder_and_concrete_splits_differ():
+    a = fresh_state().split("C", 0, [None])
+    b = fresh_state().split("C", 0, [1])
+    assert a.fingerprint() != b.fingerprint()

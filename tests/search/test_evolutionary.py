@@ -90,3 +90,60 @@ def test_evolution_generates_programs_outside_initial_population(task, populatio
     initial_keys = {repr(s.serialize_steps()) for s in population}
     new_programs = [s for s in best if repr(s.serialize_steps()) not in initial_keys]
     assert new_programs, "evolution only returned the initial samples"
+
+
+class CountingCostModel(CostModel):
+    """Deterministic stub recording every batched predict call (cache tests)."""
+
+    def __init__(self):
+        self.predict_calls = 0
+        self.predicted_keys = []
+
+    def update(self, inputs, results):
+        return None
+
+    def predict(self, task, states):
+        self.predict_calls += 1
+        keys = [s.fingerprint() for s in states]
+        self.predicted_keys.extend(keys)
+        # Deterministic per-program scores (stable within one process).
+        return np.asarray([(hash(k) % 9973) / 9973.0 for k in keys])
+
+
+def test_each_program_is_scored_exactly_once_per_search(task, population):
+    """Regression test for the elite double-scoring bug: the seed re-predicted
+    the whole population — elites included — at the start of every generation.
+    With carried scores, every distinct program hits the cost model exactly
+    once, in one batched call per generation (plus one for the initial
+    population)."""
+    num_generations = 3
+    model = CountingCostModel()
+    evo = EvolutionarySearch(
+        task,
+        model,
+        population_size=16,
+        num_generations=num_generations,
+        mutation_prob=1.0,  # no crossover, so predict_stages never runs
+        seed=0,
+    )
+    evo.search(population, num_best=4)
+    # No program is ever re-scored (elites carry their scores).
+    assert len(model.predicted_keys) == len(set(model.predicted_keys))
+    # One batched call for the initial population + at most one per generation.
+    assert model.predict_calls <= 1 + num_generations
+    # The initial population — the source of every generation's elites — was
+    # scored once and only once.
+    initial_keys = [s.fingerprint() for s in population]
+    predicted = model.predicted_keys
+    assert all(predicted.count(k) == 1 for k in initial_keys)
+
+
+def test_carried_elite_scores_keep_hall_of_fame_ranking(task, population):
+    """The best returned program must be the argmax of the stub's scores over
+    everything it was asked to predict."""
+    model = CountingCostModel()
+    evo = EvolutionarySearch(task, model, population_size=16, num_generations=2, mutation_prob=1.0, seed=3)
+    best = evo.search(population, num_best=1)
+    assert len(best) == 1
+    top_key = max(set(model.predicted_keys), key=lambda k: (hash(k) % 9973) / 9973.0)
+    assert best[0].fingerprint() == top_key

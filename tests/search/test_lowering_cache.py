@@ -1,0 +1,107 @@
+"""Memoized lowering: ``lower_state`` must hit the cache for identical
+programs and must never serve a stale program after a state is mutated —
+neither through the fingerprint key (new steps -> new key) nor through
+shared mutable objects (cached nests snapshot their stages and iterators)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.lowering import clear_lowering_cache, lower_state
+from repro.ir.state import State
+from repro.search import generate_sketches, sample_initial_population
+from repro.search.mutation import random_mutation
+from repro.hardware import intel_cpu
+from repro.task import SearchTask
+
+from ..conftest import make_matmul_relu_dag
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_lowering_cache()
+    yield
+    clear_lowering_cache()
+
+
+@pytest.fixture
+def dag():
+    return make_matmul_relu_dag(64, 64, 64)
+
+
+def test_identical_programs_share_one_lowering(dag):
+    a = State.from_dag(dag).split("C", 0, [8]).parallel("C", 0)
+    b = State.from_steps(dag, [s.copy() for s in a.transform_steps])
+    assert lower_state(a) is lower_state(b)
+
+
+def test_mutated_state_is_relowered_with_new_program(dag):
+    state = State.from_dag(dag)
+    before = lower_state(state)
+    state.vectorize("D", 1)
+    after = lower_state(state)
+    assert after is not before
+    assert after.nests["D"].loops[1].annotation == "vectorize"
+    # The first, cached program must not have picked up the annotation.
+    assert before.nests["D"].loops[1].annotation == "none"
+
+
+def test_cache_is_isolated_from_in_place_state_mutation(dag):
+    """The stale-program scenario: lower a state, mutate it in place, then
+    replay its *old* history into a new state.  The cache hit for the old
+    fingerprint must describe the old program, not the mutated stages."""
+    state = State.from_dag(dag).split("C", 0, [8])
+    old_steps = [s.copy() for s in state.transform_steps]
+    cached = lower_state(state)
+    # In-place mutation: annotates an Iterator object and sets a stage pragma.
+    state.parallel("C", 0)
+    state.pragma("C", "auto_unroll_max_step", 64)
+    replayed = State.from_steps(dag, old_steps)
+    hit = lower_state(replayed)
+    assert hit is cached
+    assert all(loop.annotation == "none" for loop in hit.nests["C"].loops)
+    assert hit.nests["C"].stage.auto_unroll_max_step == 0
+
+
+def test_pragma_is_visible_after_mutation(dag):
+    state = State.from_dag(dag)
+    lower_state(state)
+    state.pragma("C", "auto_unroll_max_step", 512)
+    assert lower_state(state).nests["C"].stage.auto_unroll_max_step == 512
+
+
+def test_uncached_lowering_matches_cached(dag):
+    state = State.from_dag(dag).split("C", 1, [16]).vectorize("C", 2)
+    cached = lower_state(state)
+    fresh = lower_state(state, use_cache=False)
+    assert fresh is not cached
+    assert set(fresh.nests) == set(cached.nests)
+    for name in fresh.nests:
+        a, b = fresh.nests[name], cached.nests[name]
+        assert [(l.name, l.extent, l.annotation) for l in a.loops] == [
+            (l.name, l.extent, l.annotation) for l in b.loops
+        ]
+        assert a.flops_per_iter == b.flops_per_iter
+
+
+def test_mutation_never_observes_stale_programs():
+    """Evolution-style churn: every mutated child must lower to a program
+    consistent with a from-scratch (uncached) lowering of the same state."""
+    task = SearchTask(make_matmul_relu_dag(64, 64, 64), intel_cpu())
+    rng = np.random.default_rng(0)
+    population = sample_initial_population(task, generate_sketches(task), 8, rng)
+    children = []
+    for state in population:
+        child = random_mutation(state, rng)
+        if child is not None:
+            children.append(child)
+    assert children
+    for child in children:
+        cached = lower_state(child)
+        fresh = lower_state(child, use_cache=False)
+        for name in fresh.nests:
+            assert [(l.name, l.extent, l.annotation) for l in fresh.nests[name].loops] == [
+                (l.name, l.extent, l.annotation) for l in cached.nests[name].loops
+            ]
+            assert fresh.nests[name].stage.auto_unroll_max_step == (
+                cached.nests[name].stage.auto_unroll_max_step
+            )

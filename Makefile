@@ -1,12 +1,14 @@
 # Development shortcuts.  The tier-1 gate is `make test`.
 #
 # Performance: `make throughput` runs the search-hot-path microbenchmark
-# (predicted states/sec, written to BENCH_search_throughput.json) and
-# `make profile` runs a small evolution under cProfile (top-25 cumulative).
+# (predicted states/sec), `make measure-throughput` the measurement-pipeline
+# benchmark (measured trials/sec, parallel builder vs the serial shim) —
+# both write into BENCH_search_throughput.json — and `make profile` runs a
+# small evolution under cProfile (top-25 cumulative).
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench throughput profile install help
+.PHONY: test test-fast bench throughput measure-throughput profile install help
 
 install:
 	pip install -e .
@@ -27,6 +29,10 @@ bench:
 throughput:
 	$(PYTEST) -q -s benchmarks/test_search_throughput.py
 
+# Measurement-throughput baseline: parallel builder vs the serial shim.
+measure-throughput:
+	$(PYTEST) -q -s benchmarks/test_measure_throughput.py
+
 # Profile the search hot path: a small evolution run under cProfile.
 profile:
 	PYTHONPATH=src python benchmarks/profile_search.py
@@ -36,5 +42,6 @@ help:
 	@echo "make test-fast   - quick loop, skips tests marked slow"
 	@echo "make bench       - paper-figure benchmarks (slow)"
 	@echo "make throughput  - search states/sec baseline -> BENCH_search_throughput.json"
+	@echo "make measure-throughput - measured trials/sec: parallel builder vs serial shim"
 	@echo "make profile     - cProfile a small evolution run (top-25 cumulative)"
 	@echo "make install     - pip install -e ."

@@ -17,8 +17,10 @@ target, not absolute GFLOP/s — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -35,7 +37,29 @@ __all__ = [
     "run_frameworks_on_task",
     "normalize_throughputs",
     "print_table",
+    "merge_benchmark_result",
 ]
+
+
+def merge_benchmark_result(path: Union[str, Path], updates: Dict) -> None:
+    """Merge ``updates`` into a shared JSON baseline file (read-modify-write).
+
+    Several benchmarks report into one tracked file
+    (``BENCH_search_throughput.json``); merging instead of overwriting keeps
+    each benchmark's section intact regardless of run order.  An unreadable
+    existing file is replaced rather than crashing the benchmark.
+    """
+    path = Path(path)
+    merged: Dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            loaded = None
+        if isinstance(loaded, dict):
+            merged = loaded
+    merged.update(updates)
+    path.write_text(json.dumps(merged, indent=2) + "\n")
 
 BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "48"))
 BENCH_SHAPES = int(os.environ.get("REPRO_BENCH_SHAPES", "1"))

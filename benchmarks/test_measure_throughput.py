@@ -1,0 +1,115 @@
+"""Measurement-throughput microbenchmark: measured trials per second.
+
+PR 2 made candidate *scoring* ~8x faster, which moved the end-to-end
+bottleneck to *measurement* — in the paper, compiling each candidate (a
+compiler subprocess invocation taking O(seconds)) dominates and Ansor runs
+its builders in parallel.  This benchmark gates that parallelism: the same
+candidate batch is measured through
+
+* **serial**: the legacy ``ProgramMeasurer`` configuration — a
+  :class:`~repro.hardware.measure.MeasurePipeline` with a one-worker
+  builder, candidates built strictly one after another,
+* **parallel**: the same pipeline with ``n_parallel`` builder threads.
+
+Each build carries ``BUILD_LATENCY`` of emulated compile cost on top of the
+analytical lowering (real builds are subprocess/I/O-bound, which threads
+genuinely overlap; the analytical lowering alone is microseconds, far below
+any real compiler).  The benchmark asserts bit-level cost parity between the
+two paths and a measured wall-clock speedup for the parallel builder, and
+merges ``measured_trials_per_sec`` into ``BENCH_search_throughput.json``
+next to the search-throughput numbers.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codegen.lowering import clear_lowering_cache
+from repro.hardware import LocalBuilder, MeasureInput, MeasurePipeline, intel_cpu
+from repro.search import generate_sketches, sample_initial_population
+from repro.task import SearchTask
+from repro.workloads import matmul_relu
+
+from harness import merge_benchmark_result
+
+N_CANDIDATES = 24
+N_PARALLEL = 8
+BUILD_LATENCY = 0.008  # emulated per-candidate compile cost (seconds)
+MIN_SPEEDUP = 2.0
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_search_throughput.json"
+
+
+def _make_inputs():
+    task = SearchTask(matmul_relu(64, 64, 64), intel_cpu())
+    rng = np.random.default_rng(0)
+    states = sample_initial_population(task, generate_sketches(task), N_CANDIDATES, rng)
+    return [MeasureInput(task, s) for s in states]
+
+
+def _timed_measure(pipeline, inputs):
+    clear_lowering_cache()  # both paths lower from cold, no cross-talk
+    start = time.perf_counter()
+    results = pipeline.measure(inputs)
+    return results, time.perf_counter() - start
+
+
+def run_measure_throughput():
+    inputs = _make_inputs()
+    serial = MeasurePipeline(
+        intel_cpu(),
+        builder=LocalBuilder(n_parallel=1, build_latency_sec=BUILD_LATENCY),
+        seed=0,
+    )
+    parallel = MeasurePipeline(
+        intel_cpu(),
+        builder=LocalBuilder(n_parallel=N_PARALLEL, build_latency_sec=BUILD_LATENCY),
+        seed=0,
+    )
+    serial_results, serial_elapsed = _timed_measure(serial, inputs)
+    parallel_results, parallel_elapsed = _timed_measure(parallel, inputs)
+
+    parity = [r.costs for r in serial_results] == [r.costs for r in parallel_results]
+    result = {
+        "candidates": len(inputs),
+        "n_parallel": N_PARALLEL,
+        "build_latency_sec": BUILD_LATENCY,
+        "serial_seconds": serial_elapsed,
+        "parallel_seconds": parallel_elapsed,
+        "serial_trials_per_sec": len(inputs) / serial_elapsed,
+        "parallel_trials_per_sec": len(inputs) / parallel_elapsed,
+        "speedup": serial_elapsed / parallel_elapsed,
+        "parity": parity,
+    }
+    # Merge into the shared perf-baseline file next to the search numbers.
+    merge_benchmark_result(
+        RESULT_PATH,
+        {
+            "measure_throughput": result,
+            "measured_trials_per_sec": result["parallel_trials_per_sec"],
+        },
+    )
+    return result
+
+
+# Marked slow to keep the load-sensitive timing assertion out of the quick
+# `-m "not slow"` gates; CI runs it once by explicit path (takes ~0.5 s).
+@pytest.mark.slow
+def test_measure_throughput_parallel_vs_serial():
+    result = run_measure_throughput()
+    print("\n=== measurement throughput: measured trials/sec ===")
+    print(f"candidates x build latency : {result['candidates']} x {BUILD_LATENCY*1e3:.0f}ms")
+    print(f"serial builder (the shim)  : {result['serial_trials_per_sec']:.0f} trials/s")
+    print(f"parallel builder (x{N_PARALLEL})    : {result['parallel_trials_per_sec']:.0f} trials/s")
+    print(f"speedup                    : {result['speedup']:.1f}x")
+    print(f"results merged into        : {RESULT_PATH.name}")
+    assert result["parity"], "parallel-build costs diverged from the serial path"
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"parallel builder is only {result['speedup']:.2f}x the serial shim "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":
+    test_measure_throughput_parallel_vs_serial()

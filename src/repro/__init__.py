@@ -31,6 +31,16 @@ states/sec, written to ``BENCH_search_throughput.json``); profile the loop
 with ``make profile``.  Every fast path is bit-compatible with the per-row
 reference (``predict_rowwise``, ``extract_program_features(use_cache=False)``),
 enforced by ``tests/cost_model/test_predict_parity.py``.
+
+Measurement is a two-stage builder/runner pipeline
+(:class:`repro.hardware.measure.MeasurePipeline`): builders lower candidates
+in a thread pool (``TuningOptions.n_parallel``) with per-candidate timeouts,
+runners time them on the machine model with injectable fault models, and
+every outcome carries a :class:`repro.hardware.measure.MeasureErrorNo` error
+kind that round-trips through the tuning log.  The tracked baseline is
+``benchmarks/test_measure_throughput.py`` (measured trials/sec, merged into
+the same JSON); the no-fault path is bit-identical to the legacy serial
+measurer, enforced by ``tests/hardware/test_measure_pipeline.py``.
 """
 
 from . import te
@@ -44,7 +54,26 @@ from .callbacks import (
     StopTuning,
 )
 from .hardware.platform import HardwareParams, arm_cpu, intel_cpu, nvidia_gpu, target_from_name
-from .hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+from .hardware.measure import (
+    FaultModel,
+    LocalBuilder,
+    LocalRunner,
+    MeasureErrorNo,
+    MeasureInput,
+    MeasurePipeline,
+    MeasureResult,
+    NoFaults,
+    ProgramBuilder,
+    ProgramRunner,
+    RandomFaults,
+    register_builder,
+    register_runner,
+    registered_builders,
+    registered_runners,
+    resolve_builder,
+    resolve_runner,
+)
+from .hardware.measurer import ProgramMeasurer
 from .hardware.simulator import CostSimulator
 from .ir.state import State
 from .records import TuningRecord, apply_history_best, load_records, records_to_curve, save_records
@@ -91,8 +120,23 @@ __all__ = [
     "target_from_name",
     "CostSimulator",
     "ProgramMeasurer",
+    "MeasurePipeline",
+    "MeasureErrorNo",
     "MeasureInput",
     "MeasureResult",
+    "ProgramBuilder",
+    "LocalBuilder",
+    "ProgramRunner",
+    "LocalRunner",
+    "FaultModel",
+    "NoFaults",
+    "RandomFaults",
+    "register_builder",
+    "registered_builders",
+    "resolve_builder",
+    "register_runner",
+    "registered_runners",
+    "resolve_runner",
     "TuningRecord",
     "save_records",
     "load_records",

@@ -29,7 +29,7 @@ import warnings
 from typing import Dict, Optional, Sequence, Tuple
 
 from .callbacks import RecordToFile
-from .hardware.measurer import ProgramMeasurer
+from .hardware.measure import MeasurePipeline
 from .hardware.platform import HardwareParams
 from .ir.state import State
 from .scheduler.objectives import Objective
@@ -44,7 +44,7 @@ def auto_schedule(
     task: SearchTask,
     options: Optional[TuningOptions] = None,
     policy: Optional[SearchPolicy] = None,
-    measurer: Optional[ProgramMeasurer] = None,
+    measurer: Optional[MeasurePipeline] = None,
     log_file: Optional[str] = None,
 ) -> Tuple[Optional[State], float]:
     """Search for the best program of a single task.

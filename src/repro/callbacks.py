@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, TextIO, Tuple
 from .records import save_records
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from .hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+    from .hardware.measure import MeasureInput, MeasurePipeline, MeasureResult
     from .scheduler.task_scheduler import TaskScheduler, TaskSchedulerRecord
     from .search.policy import SearchPolicy
     from .task import SearchTask
@@ -66,8 +66,9 @@ class MeasureEvent:
     num_trials: int
     #: best cost (seconds) of the policy after this round
     best_cost: float
-    #: the measurer that produced the results, when available
-    measurer: Optional["ProgramMeasurer"] = None
+    #: the measurement pipeline that produced the results, when available
+    #: (carries per-kind error counters, elapsed accounting, best states)
+    measurer: Optional["MeasurePipeline"] = None
 
 
 class MeasureCallback:
@@ -149,13 +150,22 @@ class ProgressLogger(MeasureCallback):
         print(message, file=self.stream if self.stream is not None else sys.stdout)
 
     def on_round(self, event: MeasureEvent) -> None:
-        errors = sum(1 for res in event.results if not res.valid)
+        from .hardware.measure import MeasureErrorNo  # local: avoid import cycle
+
         line = (
             f"[{type(event.policy).__name__}] task={event.task.desc!r} "
             f"trials={event.num_trials} best={event.best_cost:.3e}s"
         )
-        if errors:
-            line += f" errors={errors}"
+        # Break failures down by taxonomy kind (BUILD_ERROR, RUN_TIMEOUT, ...)
+        # so fault-heavy sessions are diagnosable from the progress log alone.
+        by_kind: Dict[str, int] = {}
+        for res in event.results:
+            if not res.valid:
+                kind = getattr(res, "error_kind", MeasureErrorNo.UNKNOWN_ERROR)
+                by_kind[kind.name] = by_kind.get(kind.name, 0) + 1
+        if by_kind:
+            breakdown = ", ".join(f"{name}={n}" for name, n in sorted(by_kind.items()))
+            line += f" errors={sum(by_kind.values())} ({breakdown})"
         self._print(line)
 
     def on_scheduler_round(self, scheduler, record) -> None:

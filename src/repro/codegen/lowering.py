@@ -20,6 +20,7 @@ The lowering resolves, for every non-inlined stage:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -376,13 +377,17 @@ def _shrink_attached_nest(nest: StageNest, parent: StageNest, attach_index: int)
 # printer, node scoring), so results are cached by state fingerprint.  Entries
 # pin their DAG so a recycled ``id(dag)`` can never alias a live key, and the
 # nests copy their iterators so later in-place mutation of the source state
-# (e.g. an annotation step) cannot leak into a cached program.
+# (e.g. an annotation step) cannot leak into a cached program.  A lock guards
+# lookup/insert/evict: the parallel builder lowers from worker threads, and an
+# unsynchronized move_to_end can race a concurrent eviction.
 _LOWERING_CACHE: "OrderedDict[Tuple[int, str], Tuple[ComputeDAG, LoweredProgram]]" = OrderedDict()
 _LOWERING_CACHE_SIZE = 2048
+_LOWERING_CACHE_LOCK = threading.Lock()
 
 
 def clear_lowering_cache() -> None:
-    _LOWERING_CACHE.clear()
+    with _LOWERING_CACHE_LOCK:
+        _LOWERING_CACHE.clear()
 
 
 def lower_state(state: State, use_cache: bool = True) -> LoweredProgram:
@@ -390,15 +395,17 @@ def lower_state(state: State, use_cache: bool = True) -> LoweredProgram:
     key = None
     if use_cache:
         key = (id(state.dag), state.fingerprint())
-        entry = _LOWERING_CACHE.get(key)
-        if entry is not None and entry[0] is state.dag:
-            _LOWERING_CACHE.move_to_end(key)
-            return entry[1]
+        with _LOWERING_CACHE_LOCK:
+            entry = _LOWERING_CACHE.get(key)
+            if entry is not None and entry[0] is state.dag:
+                _LOWERING_CACHE.move_to_end(key)
+                return entry[1]
     program = _lower_state_uncached(state)
     if key is not None:
-        _LOWERING_CACHE[key] = (state.dag, program)
-        if len(_LOWERING_CACHE) > _LOWERING_CACHE_SIZE:
-            _LOWERING_CACHE.popitem(last=False)
+        with _LOWERING_CACHE_LOCK:
+            _LOWERING_CACHE[key] = (state.dag, program)
+            if len(_LOWERING_CACHE) > _LOWERING_CACHE_SIZE:
+                _LOWERING_CACHE.popitem(last=False)
     return program
 
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..hardware.measurer import MeasureInput, MeasureResult
+from ..hardware.measure import MeasureInput, MeasureResult
 from ..ir.state import State
 from .features import FEATURE_LENGTH, extract_program_features, extract_program_features_batch
 from .gbdt import GBDTRegressor

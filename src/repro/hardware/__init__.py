@@ -1,6 +1,42 @@
-"""Hardware models and the measurement harness."""
+"""Hardware models and the measurement pipeline.
 
-from .measurer import MeasureInput, MeasureResult, ProgramMeasurer
+Layout:
+
+* :mod:`~repro.hardware.platform` — machine descriptions
+  (:class:`HardwareParams`) for the analytical cost model.
+* :mod:`~repro.hardware.simulator` — the analytical machine model standing
+  in for real hardware (:class:`CostSimulator`).
+* :mod:`~repro.hardware.measure` — the two-stage measurement pipeline:
+  :class:`ProgramBuilder` stages lower candidates (in parallel, with
+  timeouts), :class:`ProgramRunner` stages time them on the simulator with
+  injectable :class:`FaultModel` failures, and every outcome carries a
+  :class:`MeasureErrorNo` error kind.  :class:`MeasurePipeline` is the
+  facade consumers drive.
+* :mod:`~repro.hardware.measurer` — the legacy :class:`ProgramMeasurer`,
+  now a thin serial/no-fault shim over :class:`MeasurePipeline`.
+"""
+
+from .measure import (
+    BuildResult,
+    FaultModel,
+    LocalBuilder,
+    LocalRunner,
+    MeasureErrorNo,
+    MeasureInput,
+    MeasurePipeline,
+    MeasureResult,
+    NoFaults,
+    ProgramBuilder,
+    ProgramRunner,
+    RandomFaults,
+    register_builder,
+    register_runner,
+    registered_builders,
+    registered_runners,
+    resolve_builder,
+    resolve_runner,
+)
+from .measurer import ProgramMeasurer
 from .platform import CacheLevel, HardwareParams, arm_cpu, intel_cpu, intel_cpu_avx512, nvidia_gpu, target_from_name
 from .simulator import CostSimulator, NestCost, ProgramCost
 
@@ -15,7 +51,23 @@ __all__ = [
     "CostSimulator",
     "NestCost",
     "ProgramCost",
+    "MeasureErrorNo",
     "MeasureInput",
     "MeasureResult",
+    "BuildResult",
+    "FaultModel",
+    "NoFaults",
+    "RandomFaults",
+    "ProgramBuilder",
+    "LocalBuilder",
+    "ProgramRunner",
+    "LocalRunner",
+    "MeasurePipeline",
     "ProgramMeasurer",
+    "register_builder",
+    "registered_builders",
+    "resolve_builder",
+    "register_runner",
+    "registered_runners",
+    "resolve_runner",
 ]

@@ -1,0 +1,794 @@
+"""The two-stage measurement pipeline: parallel builders + fault-aware runners.
+
+The paper's measurer (§3) is explicitly a pipeline: *builders* compile
+candidate programs in parallel on the host, then *runners* execute them on
+the target device with a timeout and fault isolation, because real
+measurement fails in many distinct ways — compilation errors, device
+timeouts, flaky boards.  This module reproduces that structure:
+
+* :class:`ProgramBuilder` / :class:`LocalBuilder` lower candidate states to
+  :class:`~repro.codegen.lowering.LoweredProgram` objects, optionally in a
+  thread pool (``n_parallel`` workers) with a per-candidate timeout.  Real
+  builds are dominated by compiler subprocess / I/O time, which threads
+  genuinely overlap; ``build_latency_sec`` emulates that compile cost on top
+  of the (microsecond-scale) analytical lowering.
+* :class:`ProgramRunner` / :class:`LocalRunner` "execute" built programs on
+  the analytical machine model, adding the seeded run-to-run noise of a real
+  device, honoring a run timeout (a candidate whose simulated runtime
+  exceeds the budget times out instead of reporting a cost, like a real
+  runner killing a slow kernel), and consulting an injectable
+  :class:`FaultModel` for device-level failures.
+* :class:`MeasurePipeline` is the facade every consumer drives: it feeds
+  inputs through builder then runner, keeps the per-workload best program,
+  and aggregates trial / error / simulated wall-clock counters.
+
+Failure modes — the :class:`MeasureErrorNo` taxonomy
+----------------------------------------------------
+Every :class:`MeasureResult` carries a machine-readable error kind instead
+of a bare string, mirroring the reference implementation's ``MeasureErrorNo``:
+
+==========================  ====================================================
+kind                        meaning
+==========================  ====================================================
+``NO_ERROR``                the program built and ran; ``costs`` is populated
+``INSTANTIATION_ERROR``     the state is incomplete (placeholder tile sizes) —
+                            the search produced something that is not yet a
+                            program
+``BUILD_ERROR``             lowering / "compilation" failed (invalid schedule)
+``BUILD_TIMEOUT``           the builder exceeded its per-candidate timeout
+``RUN_ERROR``               a transient device fault while running (the
+                            flaky-board case: retrying the same program can
+                            succeed)
+``RUN_TIMEOUT``             the program ran longer than the runner's budget;
+                            slow candidates are killed, not timed
+``UNKNOWN_ERROR``           anything else (also the legacy-record default when
+                            an old log line has an error string but no kind)
+==========================  ====================================================
+
+Invalid results never enter the cost model's training set and never update
+best-state tracking, but they *do* consume measurement trials and simulated
+wall-clock — error-heavy searches are charged for the time they waste, as
+on a real machine.
+
+Builders and runners are selectable through string-keyed registries
+(:func:`register_builder` / :func:`register_runner`), the same pattern the
+search policies use, so :class:`~repro.tuner.Tuner` can pick them from
+:class:`~repro.task.TuningOptions` knobs without hard-coding classes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..codegen.lowering import LoweredProgram, lower_state
+from ..ir.state import State
+from .platform import HardwareParams
+from .simulator import CostSimulator
+
+__all__ = [
+    "MeasureErrorNo",
+    "classify_error_no",
+    "error_kind_of",
+    "MeasureInput",
+    "MeasureResult",
+    "BuildResult",
+    "FaultModel",
+    "NoFaults",
+    "RandomFaults",
+    "ProgramBuilder",
+    "LocalBuilder",
+    "ProgramRunner",
+    "LocalRunner",
+    "MeasurePipeline",
+    "register_builder",
+    "registered_builders",
+    "resolve_builder",
+    "register_runner",
+    "registered_runners",
+    "resolve_runner",
+]
+
+
+class MeasureErrorNo(IntEnum):
+    """Machine-readable error taxonomy of one measurement (see module docs)."""
+
+    NO_ERROR = 0
+    INSTANTIATION_ERROR = 1
+    BUILD_ERROR = 2
+    BUILD_TIMEOUT = 3
+    RUN_ERROR = 4
+    RUN_TIMEOUT = 5
+    UNKNOWN_ERROR = 6
+
+
+def classify_error_no(error: Optional[str], error_no: int) -> int:
+    """Normalize an ``(error message, error_no)`` pair.
+
+    Legacy constructions (and pre-taxonomy log lines) carry only an error
+    string; those classify as ``UNKNOWN_ERROR``.  Shared by
+    :class:`MeasureResult` and :class:`~repro.records.TuningRecord` so live
+    results and logged records can never disagree on classification.
+    """
+    if error is not None and error_no == MeasureErrorNo.NO_ERROR:
+        return MeasureErrorNo.UNKNOWN_ERROR
+    return error_no
+
+
+def error_kind_of(error_no: int) -> MeasureErrorNo:
+    """The taxonomy entry for a code, tolerating out-of-taxonomy values
+    (custom runners / fault models) as ``UNKNOWN_ERROR`` instead of raising."""
+    try:
+        return MeasureErrorNo(error_no)
+    except ValueError:
+        return MeasureErrorNo.UNKNOWN_ERROR
+
+
+@dataclass
+class MeasureInput:
+    """One measurement request: a task and a concrete program state."""
+
+    task: "SearchTask"
+    state: State
+
+
+@dataclass
+class MeasureResult:
+    """The outcome of measuring one program.
+
+    ``error_no`` is the machine-readable kind (:class:`MeasureErrorNo`);
+    ``error`` keeps the human-readable message.  ``elapsed_sec`` is the
+    wall-clock the pipeline spent on this candidate (build + run), so failed
+    trials are plottable and chargeable too.
+    """
+
+    costs: List[float]
+    error: Optional[str] = None
+    error_no: int = MeasureErrorNo.NO_ERROR
+    elapsed_sec: float = 0.0
+    timestamp: float = field(default_factory=time.time)
+
+    def __post_init__(self) -> None:
+        self.error_no = classify_error_no(self.error, self.error_no)
+
+    @property
+    def valid(self) -> bool:
+        return self.error_no == MeasureErrorNo.NO_ERROR and len(self.costs) > 0
+
+    @property
+    def error_kind(self) -> MeasureErrorNo:
+        return error_kind_of(self.error_no)
+
+    @property
+    def mean_cost(self) -> float:
+        if not self.valid:
+            return float("inf")
+        return float(np.mean(self.costs))
+
+    @property
+    def min_cost(self) -> float:
+        if not self.valid:
+            return float("inf")
+        return float(np.min(self.costs))
+
+
+@dataclass
+class BuildResult:
+    """The builder-stage outcome for one candidate."""
+
+    program: Optional[LoweredProgram]
+    error_no: int = MeasureErrorNo.NO_ERROR
+    error_msg: Optional[str] = None
+    elapsed_sec: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error_no == MeasureErrorNo.NO_ERROR and self.program is not None
+
+
+# ---------------------------------------------------------------------------
+# Fault models: injectable measurement failure scenarios
+# ---------------------------------------------------------------------------
+
+
+def _program_rng(inp: MeasureInput, seed: int, salt: str) -> np.random.Generator:
+    """A deterministic RNG derived from the program itself (and a salt), so
+    fault injection is reproducible per candidate, independent of ordering."""
+    key = repr(inp.state.serialize_steps()).encode()
+    digest = hashlib.sha256(key + f"{seed}/{salt}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+class FaultModel:
+    """Injectable measurement faults; the default injects none.
+
+    Builders consult :meth:`build_fault` before compiling, runners consult
+    :meth:`run_fault` before executing and :meth:`cost_scale` on the final
+    repeats (a flaky device scales timings).  Returning ``None`` means "no
+    fault for this candidate".
+    """
+
+    def build_fault(self, inp: MeasureInput) -> Optional[Tuple[MeasureErrorNo, str]]:
+        return None
+
+    def run_fault(self, inp: MeasureInput) -> Optional[Tuple[MeasureErrorNo, str]]:
+        return None
+
+    def cost_scale(self, inp: MeasureInput, repeats: int) -> Optional[np.ndarray]:
+        """Extra per-repeat multipliers (``None`` = leave timings alone)."""
+        return None
+
+
+class NoFaults(FaultModel):
+    """The explicit no-fault model (the default)."""
+
+
+class RandomFaults(FaultModel):
+    """Seeded random faults: build errors, transient run errors, run
+    timeouts and extra-noisy repeats, each with an independent probability.
+
+    Faults are deterministic per program (hash-seeded like the measurement
+    noise), so a tuning session with fault injection is exactly
+    reproducible, and *transient* faults really are transient: the
+    transient-error draw is salted with a retry counter, so re-measuring the
+    same program can succeed.
+    """
+
+    def __init__(
+        self,
+        build_error_prob: float = 0.0,
+        run_error_prob: float = 0.0,
+        run_timeout_prob: float = 0.0,
+        extra_noise: float = 0.0,
+        seed: int = 0,
+    ):
+        for name, p in (
+            ("build_error_prob", build_error_prob),
+            ("run_error_prob", run_error_prob),
+            ("run_timeout_prob", run_timeout_prob),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.build_error_prob = build_error_prob
+        self.run_error_prob = run_error_prob
+        self.run_timeout_prob = run_timeout_prob
+        self.extra_noise = extra_noise
+        self.seed = seed
+        self._transient_draws: Dict[str, int] = {}
+
+    def build_fault(self, inp: MeasureInput) -> Optional[Tuple[MeasureErrorNo, str]]:
+        if self.build_error_prob <= 0:
+            return None
+        rng = _program_rng(inp, self.seed, "build")
+        if rng.random() < self.build_error_prob:
+            return (MeasureErrorNo.BUILD_ERROR, "FaultModel: injected build failure")
+        return None
+
+    def run_fault(self, inp: MeasureInput) -> Optional[Tuple[MeasureErrorNo, str]]:
+        if self.run_timeout_prob > 0:
+            rng = _program_rng(inp, self.seed, "timeout")
+            if rng.random() < self.run_timeout_prob:
+                return (MeasureErrorNo.RUN_TIMEOUT, "FaultModel: injected run timeout")
+        if self.run_error_prob > 0:
+            # Digest key: a long session measures many distinct programs, and
+            # full step reprs would retain multi-KB strings per program.
+            key = hashlib.sha256(repr(inp.state.serialize_steps()).encode()).hexdigest()
+            attempt = self._transient_draws.get(key, 0)
+            self._transient_draws[key] = attempt + 1
+            rng = _program_rng(inp, self.seed, f"run/{attempt}")
+            if rng.random() < self.run_error_prob:
+                return (
+                    MeasureErrorNo.RUN_ERROR,
+                    f"FaultModel: transient device error (attempt {attempt})",
+                )
+        return None
+
+    def cost_scale(self, inp: MeasureInput, repeats: int) -> Optional[np.ndarray]:
+        if self.extra_noise <= 0:
+            return None
+        rng = _program_rng(inp, self.seed, "flaky")
+        return np.clip(1.0 + rng.normal(0.0, self.extra_noise, size=repeats), 0.25, 4.0)
+
+
+# ---------------------------------------------------------------------------
+# Builder / runner registries (same pattern as the search-policy registry)
+# ---------------------------------------------------------------------------
+
+_BUILDER_REGISTRY: Dict[str, Callable[..., "ProgramBuilder"]] = {}
+_RUNNER_REGISTRY: Dict[str, Callable[..., "ProgramRunner"]] = {}
+
+
+def register_builder(name: str, factory=None):
+    """Register a builder factory under a string key (usable as a decorator).
+
+    When selected by name through :class:`~repro.task.TuningOptions`, the
+    factory is called as ``factory(n_parallel=..., timeout=...)`` (see
+    :meth:`MeasurePipeline.from_options`), so it must accept those keyword
+    arguments; factories with other signatures should be wrapped, or the
+    configured instance passed as ``TuningOptions(builder=instance)``.
+    """
+
+    def _register(factory):
+        _BUILDER_REGISTRY[name] = factory
+        return factory
+
+    return _register(factory) if factory is not None else _register
+
+
+def registered_builders() -> List[str]:
+    return sorted(_BUILDER_REGISTRY)
+
+
+def resolve_builder(name: str):
+    try:
+        return _BUILDER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown builder {name!r}; registered builders: "
+            f"{', '.join(registered_builders()) or '(none)'}"
+        ) from None
+
+
+def register_runner(name: str, factory=None):
+    """Register a runner factory under a string key (usable as a decorator).
+
+    When selected by name through :class:`~repro.task.TuningOptions`, the
+    factory is called as ``factory(hardware, seed=..., timeout=...)`` (see
+    :meth:`MeasurePipeline.from_options`), so it must accept those keyword
+    arguments; factories with other signatures should be wrapped, or the
+    configured instance passed as ``TuningOptions(runner=instance)``.
+    """
+
+    def _register(factory):
+        _RUNNER_REGISTRY[name] = factory
+        return factory
+
+    return _register(factory) if factory is not None else _register
+
+
+def registered_runners() -> List[str]:
+    return sorted(_RUNNER_REGISTRY)
+
+
+def resolve_runner(name: str):
+    try:
+        return _RUNNER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown runner {name!r}; registered runners: "
+            f"{', '.join(registered_runners()) or '(none)'}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Builder stage
+# ---------------------------------------------------------------------------
+
+
+class ProgramBuilder:
+    """Base class of the build stage: states in, lowered programs out."""
+
+    def build(self, inputs: Sequence[MeasureInput]) -> List[BuildResult]:
+        raise NotImplementedError
+
+
+@register_builder("local")
+class LocalBuilder(ProgramBuilder):
+    """Lower candidates on the host, optionally in a thread pool.
+
+    ``n_parallel`` workers compile concurrently; ``timeout`` (seconds)
+    bounds each candidate's own build *cost* — its thread CPU time plus the
+    emulated compile latency, deliberately excluding GIL contention and
+    queueing from concurrent builds — and a build that exceeds it is
+    reported as ``BUILD_TIMEOUT`` (flagged after the fact, since a Python
+    thread cannot be preempted mid-build).  ``build_latency_sec``
+    emulates the compiler-invocation cost of a real build (which is
+    subprocess/I/O-bound and therefore genuinely overlapped by threads) on
+    top of the analytical lowering.
+    """
+
+    def __init__(
+        self,
+        n_parallel: int = 1,
+        timeout: Optional[float] = None,
+        build_latency_sec: float = 0.0,
+        fault_model: Optional[FaultModel] = None,
+    ):
+        if n_parallel < 1:
+            raise ValueError("n_parallel must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("build timeout must be positive (or None)")
+        self.n_parallel = n_parallel
+        self.timeout = timeout
+        self.build_latency_sec = build_latency_sec
+        self.fault_model = fault_model or NoFaults()
+
+    # ------------------------------------------------------------------
+    def build_one(self, inp: MeasureInput) -> BuildResult:
+        # Per-candidate build cost = this thread's own CPU time plus the
+        # emulated compile latency.  Wall clock would also count GIL
+        # contention and scheduler delays from *other* concurrent builds, so
+        # raising n_parallel alone could push every candidate past the
+        # timeout; thread CPU time keeps the measure contention-free and the
+        # timeout semantics identical serial and parallel.
+        cpu_start = time.thread_time()
+        state = inp.state
+        try:
+            if not state.is_concrete():
+                # Instantiation is checked before fault injection and the
+                # compile-latency charge: an incomplete program is rejected
+                # up front (it never reaches the compiler), and must classify
+                # as INSTANTIATION_ERROR even under an injected-fault model.
+                # Same message (and ValueError framing) the serial measurer
+                # produced, so log strings stay stable across the refactor.
+                return BuildResult(
+                    None,
+                    MeasureErrorNo.INSTANTIATION_ERROR,
+                    "ValueError: cannot measure an incomplete program (placeholder tile sizes)",
+                    time.thread_time() - cpu_start,
+                )
+        except Exception as exc:
+            return BuildResult(
+                None,
+                MeasureErrorNo.BUILD_ERROR,
+                f"{type(exc).__name__}: {exc}",
+                time.thread_time() - cpu_start,
+            )
+        # The emulated compile cost is spent before the fault draw: a build
+        # that fails still occupied the compiler (failures consume machine
+        # time, as documented).
+        if self.build_latency_sec > 0:
+            time.sleep(self.build_latency_sec)
+
+        def elapsed() -> float:
+            return (time.thread_time() - cpu_start) + self.build_latency_sec
+
+        fault = self.fault_model.build_fault(inp)
+        if fault is not None:
+            error_no, msg = fault
+            return BuildResult(None, error_no, msg, elapsed())
+        try:
+            program = lower_state(state)
+        except Exception as exc:  # invalid schedule -> build error
+            return BuildResult(None, MeasureErrorNo.BUILD_ERROR, f"{type(exc).__name__}: {exc}", elapsed())
+        return BuildResult(program, MeasureErrorNo.NO_ERROR, None, elapsed())
+
+    def build(self, inputs: Sequence[MeasureInput]) -> List[BuildResult]:
+        if not inputs:
+            return []
+        if self.n_parallel <= 1 or len(inputs) == 1:
+            results = [self.build_one(inp) for inp in inputs]
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_parallel) as pool:
+                results = list(pool.map(self.build_one, inputs))
+        return [self._apply_timeout(result) for result in results]
+
+    def _apply_timeout(self, result: BuildResult) -> BuildResult:
+        # The timeout is enforced post hoc on each candidate's own build cost
+        # (thread CPU time + emulated latency; identical semantics serial and
+        # parallel): a thread cannot be preempted mid-build, and waiting on
+        # futures with a wall-clock timeout would instead measure queue
+        # position — flagging candidates that never started and passing slow
+        # builds that finished while earlier futures were being awaited.
+        if (
+            self.timeout is not None
+            and result.error_no == MeasureErrorNo.NO_ERROR
+            and result.elapsed_sec > self.timeout
+        ):
+            return BuildResult(
+                None,
+                MeasureErrorNo.BUILD_TIMEOUT,
+                f"build exceeded {self.timeout}s",
+                result.elapsed_sec,
+            )
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Runner stage
+# ---------------------------------------------------------------------------
+
+
+class ProgramRunner:
+    """Base class of the run stage: built programs in, measured costs out."""
+
+    def run(
+        self, inputs: Sequence[MeasureInput], build_results: Sequence[BuildResult]
+    ) -> List[MeasureResult]:
+        raise NotImplementedError
+
+
+@register_runner("local")
+class LocalRunner(ProgramRunner):
+    """Time built programs on the analytical machine model.
+
+    Adds the same seeded, program-derived run-to-run noise the old measurer
+    used (so no-fault measurements are bit-identical to the serial path).
+    ``timeout`` bounds the *simulated* runtime: a candidate whose estimated
+    execution time exceeds it is reported as ``RUN_TIMEOUT``, the way a real
+    runner kills a slow kernel instead of waiting it out.  A
+    :class:`FaultModel` injects device-level failures.
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareParams,
+        noise: float = 0.03,
+        repeats: int = 3,
+        seed: int = 0,
+        timeout: Optional[float] = None,
+        fault_model: Optional[FaultModel] = None,
+    ):
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("run timeout must be positive (or None)")
+        self.hardware = hardware
+        self.simulator = CostSimulator(hardware)
+        self.noise = noise
+        self.repeats = repeats
+        self.seed = seed
+        self.timeout = timeout
+        self.fault_model = fault_model or NoFaults()
+
+    # ------------------------------------------------------------------
+    def _noise_factors(self, state: State, count: int) -> np.ndarray:
+        """Deterministic pseudo-random noise derived from the program itself."""
+        if self.noise <= 0:
+            return np.ones(count)
+        key = repr(state.serialize_steps()).encode()
+        digest = hashlib.sha256(key + str(self.seed).encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        return 1.0 + rng.normal(0.0, self.noise, size=count)
+
+    def run_one(self, inp: MeasureInput, build: BuildResult) -> MeasureResult:
+        start = time.perf_counter()
+        if not build.ok:
+            return MeasureResult(
+                costs=[],
+                error=build.error_msg,
+                error_no=build.error_no,
+                elapsed_sec=build.elapsed_sec,
+            )
+        fault = self.fault_model.run_fault(inp)
+        if fault is not None:
+            error_no, msg = fault
+            return MeasureResult(
+                costs=[],
+                error=msg,
+                error_no=error_no,
+                elapsed_sec=build.elapsed_sec + (time.perf_counter() - start),
+            )
+        try:
+            base = self.simulator.estimate_lowered(build.program).total_seconds
+        except Exception as exc:  # device-side analysis failure
+            return MeasureResult(
+                costs=[],
+                error=f"{type(exc).__name__}: {exc}",
+                error_no=MeasureErrorNo.RUN_ERROR,
+                elapsed_sec=build.elapsed_sec + (time.perf_counter() - start),
+            )
+        if self.timeout is not None and base > self.timeout:
+            return MeasureResult(
+                costs=[],
+                error=f"simulated runtime {base:.3e}s exceeded the {self.timeout}s budget",
+                error_no=MeasureErrorNo.RUN_TIMEOUT,
+                elapsed_sec=build.elapsed_sec + (time.perf_counter() - start),
+            )
+        factors = np.clip(self._noise_factors(inp.state, self.repeats), 0.5, 2.0)
+        scale = self.fault_model.cost_scale(inp, self.repeats)
+        if scale is not None:
+            factors = factors * scale
+        costs = [float(base * f) for f in factors]
+        return MeasureResult(
+            costs=costs,
+            elapsed_sec=build.elapsed_sec + (time.perf_counter() - start),
+        )
+
+    def run(
+        self, inputs: Sequence[MeasureInput], build_results: Sequence[BuildResult]
+    ) -> List[MeasureResult]:
+        return [self.run_one(inp, build) for inp, build in zip(inputs, build_results)]
+
+
+# ---------------------------------------------------------------------------
+# The pipeline facade
+# ---------------------------------------------------------------------------
+
+
+class MeasurePipeline:
+    """Builder → runner measurement pipeline with best-state tracking.
+
+    This is the object every consumer (search policies, the task scheduler,
+    :class:`~repro.tuner.Tuner`, callbacks, records) drives.  Construct it
+    either from a hardware description (``MeasurePipeline(intel_cpu())``)
+    with knobs, or from explicit ``builder=`` / ``runner=`` stages, or from
+    :class:`~repro.task.TuningOptions` via :meth:`from_options`.
+    """
+
+    def __init__(
+        self,
+        hardware: Optional[HardwareParams] = None,
+        *,
+        builder: Optional[ProgramBuilder] = None,
+        runner: Optional[ProgramRunner] = None,
+        n_parallel: int = 1,
+        build_timeout: Optional[float] = None,
+        run_timeout: Optional[float] = None,
+        noise: float = 0.03,
+        repeats: int = 3,
+        seed: int = 0,
+        measure_latency_sec: float = 0.0,
+        fault_model: Optional[FaultModel] = None,
+    ):
+        # Stage knobs configure the auto-built stages only; pairing a ready
+        # instance with knobs for that stage is rejected rather than silently
+        # ignored (the same rule :meth:`from_options` applies).
+        if builder is not None and (n_parallel != 1 or build_timeout is not None):
+            raise ValueError(
+                "builder is a ready instance, so n_parallel / build_timeout "
+                "would be silently ignored; configure the builder directly"
+            )
+        if runner is not None and (
+            noise != 0.03 or repeats != 3 or seed != 0 or run_timeout is not None
+        ):
+            raise ValueError(
+                "runner is a ready instance, so noise / repeats / seed / "
+                "run_timeout would be silently ignored; configure the runner "
+                "directly"
+            )
+        if fault_model is not None and builder is not None and runner is not None:
+            raise ValueError(
+                "fault_model would be silently ignored: both stages are ready "
+                "instances; pass the fault model to the stage constructors"
+            )
+        if runner is None:
+            if hardware is None:
+                raise ValueError("MeasurePipeline needs hardware params or an explicit runner")
+            runner = LocalRunner(
+                hardware,
+                noise=noise,
+                repeats=repeats,
+                seed=seed,
+                timeout=run_timeout,
+                fault_model=fault_model,
+            )
+        if builder is None:
+            builder = LocalBuilder(
+                n_parallel=n_parallel, timeout=build_timeout, fault_model=fault_model
+            )
+        self.builder = builder
+        self.runner = runner
+        #: optional simulated wall-clock cost per measurement (for search-time accounting)
+        self.measure_latency_sec = measure_latency_sec
+        #: total number of measurement trials performed
+        self.measure_count = 0
+        #: measurements that failed to build or run (invalid schedules, faults)
+        self.error_count = 0
+        #: per-kind error counters (only non-NO_ERROR kinds appear)
+        self.error_counts: Dict[MeasureErrorNo, int] = {}
+        #: simulated wall-clock time spent measuring (charged per trial,
+        #: including failed builds: errors waste machine time too)
+        self.elapsed_sec = 0.0
+        #: actual wall-clock the pipeline spent building + running
+        self.wall_sec = 0.0
+        #: best cost (seconds) seen per workload key
+        self.best_cost: Dict[str, float] = {}
+        #: best state seen per workload key
+        self.best_state: Dict[str, State] = {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_options(
+        cls, hardware: HardwareParams, options: "TuningOptions", seed: Optional[int] = None
+    ) -> "MeasurePipeline":
+        """Build a pipeline from :class:`~repro.task.TuningOptions` knobs,
+        resolving builder / runner names through the registries.
+
+        The stage knobs only apply when the corresponding stage is selected
+        by *name*; combining a ready instance with knobs for that stage is
+        rejected rather than silently ignoring the knobs (configure the
+        instance directly instead).
+        """
+        seed = options.seed if seed is None else seed
+        builder = options.builder
+        if isinstance(builder, str):
+            builder = resolve_builder(builder)(
+                n_parallel=options.n_parallel, timeout=options.build_timeout
+            )
+        elif options.n_parallel != 1 or options.build_timeout is not None:
+            raise ValueError(
+                "TuningOptions.builder is a ready instance, so n_parallel / "
+                "build_timeout would be silently ignored; configure the "
+                "builder instance directly or select a builder by name"
+            )
+        runner = options.runner
+        if isinstance(runner, str):
+            runner = resolve_runner(runner)(hardware, seed=seed, timeout=options.run_timeout)
+        else:
+            if options.run_timeout is not None:
+                raise ValueError(
+                    "TuningOptions.runner is a ready instance, so run_timeout "
+                    "would be silently ignored; configure the runner instance "
+                    "directly or select a runner by name"
+                )
+            # A ready runner is pinned to one machine model; building "for"
+            # different hardware with it would silently measure on the wrong
+            # machine (the tasks[0] bug this pipeline exists to prevent).
+            runner_hw = getattr(runner, "hardware", None)
+            if runner_hw is not None and runner_hw != hardware:
+                raise ValueError(
+                    f"TuningOptions.runner is pinned to {runner_hw.name!r} but the "
+                    f"session needs a pipeline for {hardware.name!r}; drop the "
+                    "runner instance or supply a matching measurer explicitly"
+                )
+        return cls(hardware, builder=builder, runner=runner)
+
+    # -- compat accessors (the old ProgramMeasurer surface) ---------------
+    @property
+    def hardware(self) -> HardwareParams:
+        return self.runner.hardware
+
+    @property
+    def simulator(self) -> CostSimulator:
+        return self.runner.simulator
+
+    @property
+    def noise(self) -> float:
+        return self.runner.noise
+
+    @property
+    def repeats(self) -> int:
+        return self.runner.repeats
+
+    @property
+    def seed(self) -> int:
+        return self.runner.seed
+
+    # ------------------------------------------------------------------
+    def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResult]:
+        """Measure a batch of programs: build all (possibly in parallel),
+        run all, update counters and per-workload bests."""
+        if not inputs:
+            return []
+        start = time.perf_counter()
+        build_results = self.builder.build(inputs)
+        results = self.runner.run(inputs, build_results)
+        self.wall_sec += time.perf_counter() - start
+        for inp, res in zip(inputs, results):
+            self._account(inp, res)
+        return results
+
+    def measure_one(self, inp: MeasureInput) -> MeasureResult:
+        """Measure a single program."""
+        return self.measure([inp])[0]
+
+    def _account(self, inp: MeasureInput, res: MeasureResult) -> None:
+        self.measure_count += 1
+        # Every trial is charged simulated wall-clock, *including* failures:
+        # a failed build still occupied the machine (the old serial measurer
+        # skipped charging errors, undercounting error-heavy searches).
+        self.elapsed_sec += self.measure_latency_sec
+        if not res.valid:
+            self.error_count += 1
+            kind = res.error_kind
+            self.error_counts[kind] = self.error_counts.get(kind, 0) + 1
+            return
+        key = inp.task.workload_key
+        best = res.min_cost
+        if best < self.best_cost.get(key, float("inf")):
+            self.best_cost[key] = best
+            self.best_state[key] = inp.state
+
+    # ------------------------------------------------------------------
+    def best_for(self, workload_key: str) -> Optional[State]:
+        return self.best_state.get(workload_key)
+
+    def best_cost_for(self, workload_key: str) -> float:
+        return self.best_cost.get(workload_key, float("inf"))

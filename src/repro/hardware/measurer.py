@@ -1,69 +1,48 @@
-"""Measurement harness: build and "run" candidate programs.
+"""Backwards-compatible measurement harness over :mod:`repro.hardware.measure`.
 
-In the paper the measurer compiles each candidate with TVM and times it on
-the target device.  Here the builder lowers the state (catching invalid
-schedules) and the runner queries the analytical machine model, adding
-small seeded run-to-run noise so that repeated measurements behave like a
-real device (the search must average / take minimums, and the cost model is
-trained on noisy labels).
+Historically this module held the monolithic ``ProgramMeasurer`` whose
+``measure_one`` built and ran each candidate serially.  Measurement is now a
+two-stage :class:`~repro.hardware.measure.MeasurePipeline` (parallel
+builders, fault-aware runners, a :class:`~repro.hardware.measure.MeasureErrorNo`
+error taxonomy); :class:`ProgramMeasurer` remains as a thin shim — a
+pipeline pinned to a serial local builder and a no-fault local runner — so
+existing code and logs keep working.  On this no-fault path the pipeline is
+bit-identical to the old serial loop (costs, noise, best-state tracking),
+which ``tests/hardware/test_measure_pipeline.py`` enforces against a
+preserved reference implementation.
 
-The measurer also keeps the global best program per task and counts
-measurement trials, which is what the evaluation figures plot on their
-x-axes.
+New code should construct :class:`~repro.hardware.measure.MeasurePipeline`
+directly (or let :class:`~repro.tuner.Tuner` build one from
+:class:`~repro.task.TuningOptions` knobs).
 """
 
 from __future__ import annotations
 
-import hashlib
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
-import numpy as np
-
-from ..codegen.lowering import lower_state
-from ..ir.state import State
+from .measure import (
+    FaultModel,
+    LocalBuilder,
+    LocalRunner,
+    MeasureErrorNo,
+    MeasureInput,
+    MeasurePipeline,
+    MeasureResult,
+)
 from .platform import HardwareParams
-from .simulator import CostSimulator
 
-__all__ = ["MeasureInput", "MeasureResult", "ProgramMeasurer"]
-
-
-@dataclass
-class MeasureInput:
-    """One measurement request: a task and a concrete program state."""
-
-    task: "SearchTask"
-    state: State
+__all__ = ["MeasureInput", "MeasureResult", "MeasureErrorNo", "ProgramMeasurer"]
 
 
-@dataclass
-class MeasureResult:
-    """The outcome of measuring one program."""
+class ProgramMeasurer(MeasurePipeline):
+    """The legacy serial measurer, now a shim over :class:`MeasurePipeline`.
 
-    costs: List[float]
-    error: Optional[str] = None
-    timestamp: float = field(default_factory=time.time)
-
-    @property
-    def valid(self) -> bool:
-        return self.error is None and len(self.costs) > 0
-
-    @property
-    def mean_cost(self) -> float:
-        if not self.valid:
-            return float("inf")
-        return float(np.mean(self.costs))
-
-    @property
-    def min_cost(self) -> float:
-        if not self.valid:
-            return float("inf")
-        return float(np.min(self.costs))
-
-
-class ProgramMeasurer:
-    """Builds and runs candidate programs against the hardware model."""
+    Keeps the old constructor signature (``hardware, noise, repeats, seed,
+    measure_latency_sec``) and the old attribute surface (``measure_count``,
+    ``error_count``, ``elapsed_sec``, ``best_cost`` / ``best_state``,
+    ``best_for`` / ``best_cost_for``), delegating all work to a serial
+    builder + local runner pipeline.
+    """
 
     def __init__(
         self,
@@ -72,66 +51,13 @@ class ProgramMeasurer:
         repeats: int = 3,
         seed: int = 0,
         measure_latency_sec: float = 0.0,
+        fault_model: Optional[FaultModel] = None,
     ):
-        self.hardware = hardware
-        self.simulator = CostSimulator(hardware)
-        self.noise = noise
-        self.repeats = repeats
-        self.seed = seed
-        #: optional simulated wall-clock cost per measurement (for search-time accounting)
-        self.measure_latency_sec = measure_latency_sec
-        #: total number of measurement trials performed
-        self.measure_count = 0
-        #: measurements that failed to build or run (invalid schedules)
-        self.error_count = 0
-        #: simulated wall-clock time spent measuring
-        self.elapsed_sec = 0.0
-        #: best cost (seconds) seen per workload key
-        self.best_cost: Dict[str, float] = {}
-        #: best state seen per workload key
-        self.best_state: Dict[str, State] = {}
-
-    # ------------------------------------------------------------------
-    def _noise_factors(self, state: State, count: int) -> np.ndarray:
-        """Deterministic pseudo-random noise derived from the program itself."""
-        if self.noise <= 0:
-            return np.ones(count)
-        key = repr(state.serialize_steps()).encode()
-        digest = hashlib.sha256(key + str(self.seed).encode()).digest()
-        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
-        return 1.0 + rng.normal(0.0, self.noise, size=count)
-
-    def measure_one(self, inp: MeasureInput) -> MeasureResult:
-        """Measure a single program."""
-        state = inp.state
-        try:
-            if not state.is_concrete():
-                raise ValueError("cannot measure an incomplete program (placeholder tile sizes)")
-            base = self.simulator.estimate(state)
-        except Exception as exc:  # invalid schedule -> build error
-            self.measure_count += 1
-            self.error_count += 1
-            return MeasureResult(costs=[], error=f"{type(exc).__name__}: {exc}")
-        factors = np.clip(self._noise_factors(state, self.repeats), 0.5, 2.0)
-        costs = [float(base * f) for f in factors]
-        self.measure_count += 1
-        self.elapsed_sec += self.measure_latency_sec
-        result = MeasureResult(costs=costs)
-
-        key = inp.task.workload_key
-        best = result.min_cost
-        if best < self.best_cost.get(key, float("inf")):
-            self.best_cost[key] = best
-            self.best_state[key] = state
-        return result
-
-    def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResult]:
-        """Measure a batch of programs."""
-        return [self.measure_one(inp) for inp in inputs]
-
-    # ------------------------------------------------------------------
-    def best_for(self, workload_key: str) -> Optional[State]:
-        return self.best_state.get(workload_key)
-
-    def best_cost_for(self, workload_key: str) -> float:
-        return self.best_cost.get(workload_key, float("inf"))
+        super().__init__(
+            hardware,
+            builder=LocalBuilder(n_parallel=1, fault_model=fault_model),
+            runner=LocalRunner(
+                hardware, noise=noise, repeats=repeats, seed=seed, fault_model=fault_model
+            ),
+            measure_latency_sec=measure_latency_sec,
+        )

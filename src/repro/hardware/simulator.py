@@ -26,8 +26,8 @@ real machine:
   footprint; cache-write stages accumulate into a small buffer and write the
   final output once, contiguously.
 
-The returned time is deterministic.  The measurement harness
-(:mod:`repro.hardware.measurer`) adds small, seeded noise on top to emulate
+The returned time is deterministic.  The measurement pipeline
+(:mod:`repro.hardware.measure`) adds small, seeded noise on top to emulate
 run-to-run variance of a real machine.
 """
 

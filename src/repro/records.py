@@ -3,24 +3,42 @@
 Like the reference implementation, every measurement can be appended to a
 log file so tuning can be resumed or the best schedule re-applied later
 without re-searching.  A record stores the workload key, the target name,
-the program's full transform-step history, and the measured costs.
+the program's full transform-step history, the measured costs, and — since
+measurement became a builder/runner pipeline — the machine-readable error
+kind (:class:`~repro.hardware.measure.MeasureErrorNo`) plus the wall-clock
+the pipeline spent on the candidate, so failed trials are resumable and
+plottable (error-rate curves, time-per-trial) rather than opaque strings.
+
+Legacy logs load unchanged: lines without an ``error_no`` field derive it
+from the error string (``UNKNOWN_ERROR`` when one is present, ``NO_ERROR``
+otherwise).  Malformed lines are tolerated — counted, skipped, and surfaced
+once per file through a :class:`RecordLogWarning` — instead of raising
+mid-file.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from .hardware.measurer import MeasureInput, MeasureResult
+from .hardware.measure import (
+    MeasureErrorNo,
+    MeasureInput,
+    MeasureResult,
+    classify_error_no,
+    error_kind_of,
+)
 from .ir.state import State
 from .ir.steps import step_from_dict
 from .task import SearchTask
 
 __all__ = [
     "TuningRecord",
+    "RecordLogWarning",
     "save_records",
     "load_records",
     "best_record",
@@ -29,6 +47,10 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+class RecordLogWarning(UserWarning):
+    """Emitted when a record log contains malformed lines (which are skipped)."""
 
 
 @dataclass
@@ -40,7 +62,14 @@ class TuningRecord:
     steps: List[dict]
     costs: List[float]
     error: Optional[str] = None
+    error_no: int = MeasureErrorNo.NO_ERROR
+    elapsed_sec: float = 0.0
     timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Shared with MeasureResult: legacy records carry only the error
+        # string and classify as UNKNOWN_ERROR.
+        self.error_no = classify_error_no(self.error, self.error_no)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -51,6 +80,8 @@ class TuningRecord:
             steps=inp.state.serialize_steps(),
             costs=list(res.costs),
             error=res.error,
+            error_no=int(res.error_no),
+            elapsed_sec=res.elapsed_sec,
             timestamp=res.timestamp or time.time(),
         )
 
@@ -62,6 +93,8 @@ class TuningRecord:
                 "steps": self.steps,
                 "costs": self.costs,
                 "error": self.error,
+                "error_no": int(self.error_no),
+                "elapsed_sec": self.elapsed_sec,
                 "timestamp": self.timestamp,
             }
         )
@@ -75,13 +108,22 @@ class TuningRecord:
             steps=data["steps"],
             costs=data["costs"],
             error=data.get("error"),
+            error_no=int(data.get("error_no", MeasureErrorNo.NO_ERROR)),
+            elapsed_sec=float(data.get("elapsed_sec", 0.0)),
             timestamp=data.get("timestamp", 0.0),
         )
 
     # ------------------------------------------------------------------
     @property
     def valid(self) -> bool:
-        return self.error is None and len(self.costs) > 0
+        # classify_error_no guarantees error_no != NO_ERROR whenever an
+        # error string is present, so this matches MeasureResult.valid.
+        return self.error_no == MeasureErrorNo.NO_ERROR and len(self.costs) > 0
+
+    @property
+    def error_kind(self) -> MeasureErrorNo:
+        """The machine-readable error taxonomy entry of this record."""
+        return error_kind_of(self.error_no)
 
     @property
     def best_cost(self) -> float:
@@ -108,18 +150,38 @@ def save_records(
             f.write(TuningRecord.from_measurement(inp, res).to_json() + "\n")
 
 
-def load_records(path: PathLike) -> List[TuningRecord]:
-    """Load all records from a log file (silently skipping corrupt lines)."""
+def load_records(path: PathLike, strict: bool = False) -> List[TuningRecord]:
+    """Load all records from a log file.
+
+    Malformed lines (truncated writes, foreign content, schema drift) are
+    skipped and surfaced once per file as a :class:`RecordLogWarning`
+    carrying the skip count and the first bad line number, so a partially
+    corrupt log stays resumable without failing silently.  With
+    ``strict=True`` the first malformed line raises instead.
+    """
     records: List[TuningRecord] = []
+    skipped = 0
+    first_bad: Optional[int] = None
     with open(path) as f:
-        for line in f:
+        for lineno, line in enumerate(f, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 records.append(TuningRecord.from_json(line))
-            except (json.JSONDecodeError, KeyError):
-                continue
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                if strict:
+                    raise
+                skipped += 1
+                if first_bad is None:
+                    first_bad = lineno
+    if skipped:
+        warnings.warn(
+            f"load_records({str(path)!r}): skipped {skipped} malformed "
+            f"line(s), first at line {first_bad}",
+            RecordLogWarning,
+            stacklevel=2,
+        )
     return records
 
 

@@ -32,7 +32,8 @@ from ..callbacks import (
     fire_scheduler_round,
 )
 from ..cost_model.model import CostModel, LearnedCostModel
-from ..hardware.measurer import ProgramMeasurer
+from ..hardware.measure import MeasurePipeline
+from ..hardware.platform import HardwareParams
 from ..ir.state import State
 from ..search.policy import SearchPolicy
 from ..search.sketch_policy import SketchPolicy
@@ -87,6 +88,7 @@ class TaskScheduler:
         self.backward_window = backward_window
         self.eps_greedy = eps_greedy
         self.verbose = verbose
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
 
         # One cost model shared by all tasks (§5.2: "A single model is trained
@@ -98,6 +100,8 @@ class TaskScheduler:
             policy_factory(task, self.cost_model, seed + idx) for idx, task in enumerate(self.tasks)
         ]
 
+        #: per-task measurement pipelines (populated by :meth:`tune`)
+        self.measurers: List[MeasurePipeline] = []
         #: rounds allocated per task (t_i)
         self.allocations: List[int] = [0] * n
         #: tasks a callback early-stopped (no further rounds are allocated)
@@ -181,17 +185,88 @@ class TaskScheduler:
         return live[int(np.argmin(gradients))]
 
     # ------------------------------------------------------------------
+    # Measurement pipelines (one per distinct hardware target)
+    # ------------------------------------------------------------------
+    def _make_measurers(
+        self,
+        measurer: Optional[MeasurePipeline],
+        measurer_factory: Optional[Callable[..., MeasurePipeline]] = None,
+    ) -> List[MeasurePipeline]:
+        """One measurement pipeline per task, honoring each task's hardware.
+
+        A caller-supplied ``measurer`` is validated against every task: a
+        heterogeneous task list must not silently measure every task on the
+        first task's machine (the old behaviour).  Without one, tasks that
+        share a hardware description share a pipeline (so per-machine best
+        states and counters aggregate naturally), and every distinct target
+        gets its own — built by ``measurer_factory(hardware_params)`` when
+        given (e.g. :class:`~repro.tuner.Tuner` passing the options'
+        builder/runner knobs), or a default pipeline otherwise.
+        """
+        if measurer is not None:
+            # getattr: a custom runner may not expose .hardware — such a
+            # measurer cannot be validated and is accepted as-is (same
+            # guard Tuner._tune_single applies).
+            measurer_hw = getattr(measurer, "hardware", None)
+            if measurer_hw is None:
+                return [measurer] * len(self.tasks)
+            mismatched = [
+                (i, task)
+                for i, task in enumerate(self.tasks)
+                if task.hardware_params != measurer_hw
+            ]
+            if mismatched:
+                names = ", ".join(
+                    f"task {i} ({task.desc!r} on {task.hardware_params.name})"
+                    for i, task in mismatched[:3]
+                )
+                raise ValueError(
+                    f"measurer targets {measurer_hw.name!r} but "
+                    f"{len(mismatched)} task(s) use different hardware: {names}"
+                    f"{', ...' if len(mismatched) > 3 else ''}; pass measurer=None "
+                    "to build one pipeline per hardware target"
+                )
+            return [measurer] * len(self.tasks)
+        # Keyed by the full (frozen) HardwareParams, not its name: two
+        # targets sharing a name but differing in e.g. core count must not
+        # share a machine model.
+        by_hardware: Dict[HardwareParams, MeasurePipeline] = {}
+        measurers = []
+        for task in self.tasks:
+            pipeline = by_hardware.get(task.hardware_params)
+            if pipeline is None:
+                if measurer_factory is not None:
+                    pipeline = measurer_factory(task.hardware_params)
+                else:
+                    pipeline = MeasurePipeline(task.hardware_params, seed=self.seed)
+                by_hardware[task.hardware_params] = pipeline
+            measurers.append(pipeline)
+        return measurers
+
+    def measure_error_count(self) -> int:
+        """Total failed trials across this scheduler's measurement pipelines."""
+        return sum(m.error_count for m in {id(m): m for m in self.measurers}.values())
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def tune(
         self,
         num_measure_trials: int,
         num_measures_per_round: int = 16,
-        measurer: Optional[ProgramMeasurer] = None,
+        measurer: Optional[MeasurePipeline] = None,
         callbacks: Sequence[MeasureCallback] = (),
+        measurer_factory: Optional[Callable[..., MeasurePipeline]] = None,
     ) -> List[float]:
         """Distribute ``num_measure_trials`` over the tasks; returns the final
         best latency per task.
+
+        Each task is measured on *its own* hardware target: when no
+        ``measurer`` is given, one :class:`~repro.hardware.measure.MeasurePipeline`
+        is built per distinct hardware description — through
+        ``measurer_factory(hardware_params)`` when provided (so callers can
+        thread builder/runner knobs through) — while a supplied measurer is
+        validated against every task instead (see :meth:`_make_measurers`).
 
         ``callbacks`` observe every measured round (see
         :mod:`repro.callbacks`).  A callback that raises
@@ -200,7 +275,7 @@ class TaskScheduler:
         remaining tasks (an :class:`~repro.callbacks.EarlyStopper` tracks
         improvement per task, so sharing one instance works as expected).
         """
-        measurer = measurer or ProgramMeasurer(self.tasks[0].hardware_params)
+        self.measurers = self._make_measurers(measurer, measurer_factory)
         active = list(callbacks)
         if self.verbose and not any(isinstance(cb, ProgressLogger) for cb in active):
             active.append(ProgressLogger())
@@ -212,15 +287,16 @@ class TaskScheduler:
                 if index is None:  # every task early-stopped
                     break
                 policy = self.policies[index]
+                task_measurer = self.measurers[index]
                 budget = min(num_measures_per_round, num_measure_trials - self.total_trials)
                 # Two-argument call: pre-0.2.0 policies (no callbacks
                 # parameter) keep working; events fire here at the loop level.
-                inputs, results = policy.continue_search_one_round(budget, measurer)
+                inputs, results = policy.continue_search_one_round(budget, task_measurer)
                 consumed = len(inputs)
                 stopped = False
                 if active and inputs:
                     try:
-                        fire_round(active, policy._make_event(inputs, results, measurer))
+                        fire_round(active, policy._make_event(inputs, results, task_measurer))
                     except StopTuning:
                         stopped = True
                 if consumed == 0:

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..callbacks import MeasureCallback
 from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
-from ..hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+from ..hardware.measure import MeasureInput, MeasurePipeline, MeasureResult
 from ..hardware.platform import HardwareParams
 from ..ir.state import State
 from ..ir.steps import SplitStep
@@ -180,7 +180,7 @@ class BeamSearchPolicy(SearchPolicy):
     def continue_search_one_round(
         self,
         num_measures: int,
-        measurer: ProgramMeasurer,
+        measurer: MeasurePipeline,
         callbacks: Sequence[MeasureCallback] = (),
     ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
         candidates = self._construct_candidates()
@@ -299,8 +299,8 @@ class LibraryBaseline:
         self.best_state: Optional[State] = None
         self.best_cost: float = float("inf")
 
-    def run(self, measurer: Optional[ProgramMeasurer] = None) -> float:
-        measurer = measurer or ProgramMeasurer(self.task.hardware_params, noise=0.0)
+    def run(self, measurer: Optional[MeasurePipeline] = None) -> float:
+        measurer = measurer or MeasurePipeline(self.task.hardware_params, noise=0.0)
         state = expert_schedule(self.task)
         result = measurer.measure_one(MeasureInput(self.task, state))
         self.best_state = state

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..callbacks import MeasureCallback, MeasureEvent, ProgressLogger, StopTuning, fire_round
-from ..hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+from ..hardware.measure import MeasureInput, MeasurePipeline, MeasureResult
 from ..ir.state import State
 from ..task import SearchTask, TuningOptions
 
@@ -95,7 +95,7 @@ class SearchPolicy:
     def continue_search_one_round(
         self,
         num_measures: int,
-        measurer: ProgramMeasurer,
+        measurer: MeasurePipeline,
         callbacks: Sequence[MeasureCallback] = (),
     ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
         """Generate, measure and learn from one batch of candidate programs.
@@ -111,7 +111,7 @@ class SearchPolicy:
         self,
         inputs: Sequence[MeasureInput],
         results: Sequence[MeasureResult],
-        measurer: Optional[ProgramMeasurer] = None,
+        measurer: Optional[MeasurePipeline] = None,
     ) -> MeasureEvent:
         """The :class:`MeasureEvent` describing the policy's latest round."""
         return MeasureEvent(
@@ -129,7 +129,7 @@ class SearchPolicy:
         inputs: Sequence[MeasureInput],
         results: Sequence[MeasureResult],
         callbacks: Sequence[MeasureCallback] = (),
-        measurer: Optional[ProgramMeasurer] = None,
+        measurer: Optional[MeasurePipeline] = None,
     ) -> None:
         for inp, res in zip(inputs, results):
             self.num_trials += 1
@@ -150,7 +150,7 @@ class SearchPolicy:
     def tune(
         self,
         options: Optional[TuningOptions] = None,
-        measurer: Optional[ProgramMeasurer] = None,
+        measurer: Optional[MeasurePipeline] = None,
         callbacks: Sequence[MeasureCallback] = (),
     ) -> Optional[State]:
         """Run a full standalone tuning session on this task.
@@ -162,7 +162,12 @@ class SearchPolicy:
         from ..callbacks import EarlyStopper  # local: keep top-level imports light
 
         options = options or TuningOptions()
-        measurer = measurer or ProgramMeasurer(self.task.hardware_params, seed=self.seed)
+        if measurer is None:
+            # Build the measurement pipeline from the options' builder/runner
+            # knobs (parallelism, timeouts), seeded like the old default.
+            measurer = MeasurePipeline.from_options(
+                self.task.hardware_params, options, seed=self.seed
+            )
         active = list(callbacks)
         if (options.verbose or self.verbose) and not any(
             isinstance(cb, ProgressLogger) for cb in active

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..callbacks import MeasureCallback
 from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
-from ..hardware.measurer import MeasureInput, MeasureResult, ProgramMeasurer
+from ..hardware.measure import MeasureInput, MeasurePipeline, MeasureResult
 from ..ir.state import State
 from ..task import SearchTask
 from .annotation import sample_initial_population
@@ -125,7 +125,7 @@ class SketchPolicy(SearchPolicy):
     def continue_search_one_round(
         self,
         num_measures: int,
-        measurer: ProgramMeasurer,
+        measurer: MeasurePipeline,
         callbacks: Sequence[MeasureCallback] = (),
     ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
         population = self._initial_population()

@@ -9,10 +9,13 @@ a DNN) with the hardware it should be optimized for.  The task scheduler
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from .hardware.platform import HardwareParams, intel_cpu
 from .te.dag import ComputeDAG
+
+if TYPE_CHECKING:  # pragma: no cover - types only (avoid an import cycle)
+    from .hardware.measure import ProgramBuilder, ProgramRunner
 
 __all__ = ["SearchTask", "TuningOptions"]
 
@@ -44,7 +47,17 @@ class SearchTask:
 
 @dataclass
 class TuningOptions:
-    """Options controlling one tuning run (mirrors the paper's setup in §7)."""
+    """Options controlling one tuning run (mirrors the paper's setup in §7).
+
+    The measurement knobs mirror the paper's builder/runner split: the
+    ``builder`` / ``runner`` names are resolved through the registries in
+    :mod:`repro.hardware.measure` (the same pattern as search policies), and
+    ``n_parallel`` / the timeouts configure the resulting
+    :class:`~repro.hardware.measure.MeasurePipeline`.  Ready
+    :class:`~repro.hardware.measure.ProgramBuilder` /
+    :class:`~repro.hardware.measure.ProgramRunner` instances are accepted in
+    place of names.
+    """
 
     #: total number of measurement trials
     num_measure_trials: int = 64
@@ -56,6 +69,17 @@ class TuningOptions:
     verbose: int = 0
     #: random seed for the search
     seed: int = 0
+    #: builder stage: a registered name or a ProgramBuilder instance
+    builder: "Union[str, ProgramBuilder]" = "local"
+    #: runner stage: a registered name or a ProgramRunner instance
+    runner: "Union[str, ProgramRunner]" = "local"
+    #: builder worker threads (compilation parallelism)
+    n_parallel: int = 1
+    #: per-candidate build timeout (seconds of the candidate's own build
+    #: cost — thread CPU time + emulated compile latency; None = unbounded)
+    build_timeout: Optional[float] = None
+    #: per-candidate run timeout (simulated seconds; None = unbounded)
+    run_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_measure_trials <= 0:
@@ -64,3 +88,9 @@ class TuningOptions:
             raise ValueError("num_measures_per_round must be positive")
         if self.early_stopping is not None and self.early_stopping <= 0:
             raise ValueError("early_stopping must be positive (or None to disable)")
+        if self.n_parallel < 1:
+            raise ValueError("n_parallel must be >= 1")
+        if self.build_timeout is not None and self.build_timeout <= 0:
+            raise ValueError("build_timeout must be positive (or None to disable)")
+        if self.run_timeout is not None and self.run_timeout <= 0:
+            raise ValueError("run_timeout must be positive (or None to disable)")

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .callbacks import MeasureCallback
-from .hardware.measurer import ProgramMeasurer
+from .hardware.measure import MeasurePipeline
 from .hardware.platform import HardwareParams
 from .ir.state import State
 from .scheduler.objectives import Objective
@@ -118,8 +118,9 @@ class Tuner:
         Extra keyword arguments forwarded to the policy factory.
     measurer:
         Measurement backend override; defaults to a
-        :class:`~repro.hardware.measurer.ProgramMeasurer` on the workload's
-        hardware.
+        :class:`~repro.hardware.measure.MeasurePipeline` built from the
+        options' builder/runner knobs on the workload's hardware (one per
+        distinct hardware target in multi-network sessions).
     hardware / batch / max_tasks_per_network / objective / scheduler_strategy:
         Network-session knobs, forwarded to the task extractor and the
         :class:`~repro.scheduler.task_scheduler.TaskScheduler`.
@@ -133,7 +134,7 @@ class Tuner:
         options: Optional[TuningOptions] = None,
         callbacks: Optional[Sequence[MeasureCallback]] = None,
         policy_kwargs: Optional[dict] = None,
-        measurer: Optional[ProgramMeasurer] = None,
+        measurer: Optional[MeasurePipeline] = None,
         hardware: Optional[HardwareParams] = None,
         batch: int = 1,
         max_tasks_per_network: Optional[int] = None,
@@ -203,9 +204,19 @@ class Tuner:
     # -- single task -----------------------------------------------------
     def _tune_single(self, task: SearchTask) -> TuningResult:
         policy = self._make_policy(task)
-        measurer = self.measurer or ProgramMeasurer(
-            task.hardware_params, seed=self.options.seed
-        )
+        measurer = self.measurer
+        if measurer is None:
+            measurer = MeasurePipeline.from_options(task.hardware_params, self.options)
+        else:
+            # Same validation the scheduler applies to multi-task sessions:
+            # a supplied measurer must target the task's hardware.
+            measurer_hw = getattr(measurer, "hardware", None)
+            if measurer_hw is not None and measurer_hw != task.hardware_params:
+                raise ValueError(
+                    f"measurer targets {measurer_hw.name!r} but the task runs on "
+                    f"{task.hardware_params.name!r}; pass measurer=None to build a "
+                    "matching pipeline from the options"
+                )
         # Report this session's consumption, not the lifetime counters of a
         # caller-supplied (possibly pre-used) policy or measurer.
         trials_before = policy.num_trials
@@ -256,15 +267,19 @@ class Tuner:
 
             if not any(isinstance(cb, EarlyStopper) for cb in callbacks):
                 callbacks.append(EarlyStopper(options.early_stopping))
-        measurer = self.measurer or ProgramMeasurer(
-            tasks[0].hardware_params, seed=options.seed
-        )
-        errors_before = measurer.error_count
+        # No default measurer here: the scheduler builds one pipeline per
+        # distinct hardware target — from this session's options knobs
+        # (builder/runner, n_parallel, timeouts) — so a heterogeneous task
+        # list is measured on the right machines (a user-supplied measurer
+        # is validated against every task instead).
+        measurer = self.measurer
+        errors_before = measurer.error_count if measurer is not None else 0
         best_costs = scheduler.tune(
             options.num_measure_trials,
             options.num_measures_per_round,
             measurer=measurer,
             callbacks=callbacks,
+            measurer_factory=lambda hw: MeasurePipeline.from_options(hw, options),
         )
         return TuningResult(
             tasks=list(tasks),
@@ -276,5 +291,5 @@ class Tuner:
             },
             scheduler=scheduler,
             num_trials=scheduler.total_trials,
-            num_errors=measurer.error_count - errors_before,
+            num_errors=scheduler.measure_error_count() - errors_before,
         )

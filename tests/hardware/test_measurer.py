@@ -1,9 +1,16 @@
-"""Tests for the measurement harness."""
+"""Tests for the legacy measurement harness (now a shim over the pipeline)."""
 
 import numpy as np
 import pytest
 
-from repro.hardware import MeasureInput, MeasureResult, ProgramMeasurer, intel_cpu
+from repro.hardware import (
+    MeasureErrorNo,
+    MeasureInput,
+    MeasurePipeline,
+    MeasureResult,
+    ProgramMeasurer,
+    intel_cpu,
+)
 from repro.task import SearchTask
 
 from ..conftest import make_matmul_relu_dag
@@ -87,3 +94,29 @@ def test_measure_latency_accounting(task):
     measurer = ProgramMeasurer(intel_cpu(), measure_latency_sec=1.5)
     measurer.measure([MeasureInput(task, task.compute_dag.init_state())] * 3)
     assert measurer.elapsed_sec == pytest.approx(4.5)
+
+
+def test_failed_builds_also_charge_latency(task):
+    """Regression: a failed build used to count in measure_count and
+    error_count but was never charged measure_latency_sec, so error-heavy
+    searches undercounted simulated wall-clock."""
+    measurer = ProgramMeasurer(intel_cpu(), measure_latency_sec=1.5)
+    bad = task.compute_dag.init_state()
+    bad.split("C", 0, [None])
+    measurer.measure([MeasureInput(task, task.compute_dag.init_state()), MeasureInput(task, bad)])
+    assert measurer.measure_count == 2
+    assert measurer.error_count == 1
+    assert measurer.elapsed_sec == pytest.approx(3.0)
+
+
+def test_shim_is_a_pipeline(task):
+    """The shim exposes both the legacy surface and the pipeline surface."""
+    measurer = ProgramMeasurer(intel_cpu(), seed=0)
+    assert isinstance(measurer, MeasurePipeline)
+    assert measurer.hardware.name == "intel-20c"
+    assert measurer.repeats == 3
+    bad = task.compute_dag.init_state()
+    bad.split("C", 0, [None])
+    result = measurer.measure_one(MeasureInput(task, bad))
+    assert result.error_kind == MeasureErrorNo.INSTANTIATION_ERROR
+    assert measurer.error_counts == {MeasureErrorNo.INSTANTIATION_ERROR: 1}

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.hardware import ProgramMeasurer, intel_cpu
+from repro.hardware import MeasurePipeline, ProgramMeasurer, arm_cpu, intel_cpu
 from repro.scheduler import GeomeanSpeedup, TaskScheduler, WeightedSumLatency
 from repro.search.policy import SearchPolicy
 from repro.task import SearchTask
@@ -133,6 +133,91 @@ def test_unknown_strategy_rejected():
 def test_empty_task_list_rejected():
     with pytest.raises(ValueError):
         TaskScheduler([])
+
+
+def test_heterogeneous_tasks_measured_on_their_own_hardware():
+    """Regression: the scheduler used to default every task's measurer to
+    tasks[0].hardware_params, measuring ARM tasks on the Intel model."""
+    tasks = [
+        SearchTask(make_matmul_relu_dag(64, 64, 64), intel_cpu(), desc="intel-a"),
+        SearchTask(make_matmul_relu_dag(64, 64, 64), arm_cpu(), desc="arm"),
+        SearchTask(make_matmul_dag(64, 64, 64), intel_cpu(), desc="intel-b"),
+    ]
+    factory = _fake_factory([0.1, 0.1, 0.1])
+    scheduler = TaskScheduler(tasks, strategy="round_robin", policy_factory=factory)
+    scheduler.tune(num_measure_trials=30, num_measures_per_round=10)
+    assert [m.hardware.name for m in scheduler.measurers] == [
+        "intel-20c", "arm-4c", "intel-20c",
+    ]
+    # Tasks sharing a hardware description share one pipeline.
+    assert scheduler.measurers[0] is scheduler.measurers[2]
+    assert scheduler.measurers[0] is not scheduler.measurers[1]
+
+
+def test_supplied_measurer_validated_against_task_hardware():
+    tasks = [
+        SearchTask(make_matmul_relu_dag(64, 64, 64), intel_cpu(), desc="intel"),
+        SearchTask(make_matmul_relu_dag(64, 64, 64), arm_cpu(), desc="arm"),
+    ]
+    factory = _fake_factory([0.1, 0.1])
+    scheduler = TaskScheduler(tasks, policy_factory=factory)
+    with pytest.raises(ValueError, match="different hardware"):
+        scheduler.tune(
+            num_measure_trials=10,
+            measurer=MeasurePipeline(intel_cpu()),
+        )
+
+
+def test_same_name_different_params_get_distinct_pipelines():
+    """Hardware dedup keys on the full params, not the name: two targets
+    named alike but differing in core count must not share a machine model."""
+    import dataclasses
+
+    hw_a = intel_cpu()
+    hw_b = dataclasses.replace(intel_cpu(), num_cores=4)
+    tasks = [
+        SearchTask(make_matmul_relu_dag(64, 64, 64), hw_a, desc="20c"),
+        SearchTask(make_matmul_relu_dag(64, 64, 64), hw_b, desc="4c"),
+    ]
+    factory = _fake_factory([0.1, 0.1])
+    scheduler = TaskScheduler(tasks, strategy="round_robin", policy_factory=factory)
+    scheduler.tune(num_measure_trials=20, num_measures_per_round=10)
+    assert scheduler.measurers[0] is not scheduler.measurers[1]
+    assert scheduler.measurers[0].hardware.num_cores == 20
+    assert scheduler.measurers[1].hardware.num_cores == 4
+
+
+def test_measurer_factory_builds_per_hardware_pipelines():
+    """Tuner threads options knobs through tune(measurer_factory=...); the
+    factory is called once per distinct hardware target."""
+    tasks = [
+        SearchTask(make_matmul_relu_dag(64, 64, 64), intel_cpu(), desc="intel-a"),
+        SearchTask(make_matmul_relu_dag(64, 64, 64), arm_cpu(), desc="arm"),
+        SearchTask(make_matmul_dag(64, 64, 64), intel_cpu(), desc="intel-b"),
+    ]
+    factory = _fake_factory([0.1, 0.1, 0.1])
+    scheduler = TaskScheduler(tasks, strategy="round_robin", policy_factory=factory)
+    built = []
+
+    def measurer_factory(hw):
+        pipeline = MeasurePipeline(hw, n_parallel=4, seed=0)
+        built.append(pipeline)
+        return pipeline
+
+    scheduler.tune(
+        num_measure_trials=30, num_measures_per_round=10, measurer_factory=measurer_factory
+    )
+    assert len(built) == 2  # one per distinct hardware
+    assert all(m.builder.n_parallel == 4 for m in scheduler.measurers)
+
+
+def test_supplied_measurer_accepted_when_hardware_matches():
+    tasks = _make_tasks()
+    factory = _fake_factory([0.1, 0.1, 0.1])
+    scheduler = TaskScheduler(tasks, strategy="round_robin", policy_factory=factory)
+    measurer = ProgramMeasurer(intel_cpu(), seed=0)
+    scheduler.tune(num_measure_trials=30, num_measures_per_round=10, measurer=measurer)
+    assert all(m is measurer for m in scheduler.measurers)
 
 
 def test_multi_dnn_objective_with_geomean():

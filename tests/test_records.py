@@ -1,11 +1,22 @@
 """Tests for tuning-log records."""
 
+import json
+import warnings
+
 import numpy as np
 import pytest
 
 from repro import apply_history_best, load_records, save_records
-from repro.hardware import CostSimulator, MeasureInput, ProgramMeasurer, intel_cpu
-from repro.records import TuningRecord, best_record
+from repro.hardware import (
+    CostSimulator,
+    MeasureErrorNo,
+    MeasureInput,
+    MeasurePipeline,
+    ProgramMeasurer,
+    RandomFaults,
+    intel_cpu,
+)
+from repro.records import RecordLogWarning, TuningRecord, best_record
 from repro.search import generate_sketches, sample_initial_population
 from repro.task import SearchTask
 
@@ -52,14 +63,79 @@ def test_overwrite_mode(tmp_path, task, measured):
     assert len(load_records(log)) == 2
 
 
-def test_corrupt_lines_are_skipped(tmp_path, task, measured):
+def test_corrupt_lines_are_skipped_with_warning(tmp_path, task, measured):
+    """Malformed lines are tolerated but surfaced: counted and warned about
+    once per file, instead of raising mid-file or vanishing silently."""
     inputs, results = measured
     log = tmp_path / "tuning.json"
     save_records(log, inputs, results)
     with open(log, "a") as f:
         f.write("this is not json\n")
         f.write('{"missing": "fields"}\n')
-    assert len(load_records(log)) == len(inputs)
+    with pytest.warns(RecordLogWarning, match="2 malformed"):
+        records = load_records(log)
+    assert len(records) == len(inputs)
+
+
+def test_clean_log_loads_without_warning(tmp_path, task, measured):
+    inputs, results = measured
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RecordLogWarning)
+        assert len(load_records(log)) == len(inputs)
+
+
+def test_strict_mode_raises_on_corrupt_line(tmp_path, task, measured):
+    inputs, results = measured
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    with open(log, "a") as f:
+        f.write("garbage\n")
+    with pytest.raises(json.JSONDecodeError):
+        load_records(log, strict=True)
+
+
+def test_legacy_lines_without_error_no_load(tmp_path, task, measured):
+    """Pre-taxonomy log lines (no error_no / elapsed_sec fields) still load;
+    the kind is derived from the error string."""
+    inputs, results = measured
+    legacy_ok = {
+        "workload_key": task.workload_key,
+        "target": task.hardware_params.name,
+        "steps": inputs[0].state.serialize_steps(),
+        "costs": [0.5],
+        "error": None,
+        "timestamp": 1.0,
+    }
+    legacy_err = dict(legacy_ok, costs=[], error="ValueError: bad")
+    log = tmp_path / "legacy.json"
+    log.write_text(json.dumps(legacy_ok) + "\n" + json.dumps(legacy_err) + "\n")
+    records = load_records(log)
+    assert len(records) == 2
+    assert records[0].valid
+    assert records[0].error_kind == MeasureErrorNo.NO_ERROR
+    assert not records[1].valid
+    assert records[1].error_kind == MeasureErrorNo.UNKNOWN_ERROR
+
+
+def test_error_kind_and_elapsed_round_trip(tmp_path, task, measured):
+    """error_no and elapsed_sec survive the JSON round trip, so failed
+    trials are resumable and plottable."""
+    inputs, _ = measured
+    faulty = MeasurePipeline(
+        task.hardware_params, fault_model=RandomFaults(build_error_prob=0.5, seed=4), seed=0
+    )
+    results = faulty.measure(inputs)
+    assert any(not r.valid for r in results) and any(r.valid for r in results)
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    records = load_records(log)
+    for rec, res in zip(records, results):
+        assert rec.error_no == int(res.error_no)
+        assert rec.error_kind == res.error_kind
+        assert rec.elapsed_sec == pytest.approx(res.elapsed_sec)
+        assert rec.valid == res.valid
 
 
 def test_best_record_and_apply_history_best(tmp_path, task, measured):

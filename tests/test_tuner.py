@@ -239,6 +239,28 @@ def test_network_session_is_deterministic_under_fixed_seed():
     assert first.history == second.history
 
 
+def test_single_task_session_validates_supplied_measurer_hardware(task):
+    """Same guard the scheduler applies: a measurer pinned to the wrong
+    machine must raise instead of silently measuring there."""
+    from repro.hardware import MeasurePipeline, arm_cpu
+
+    with pytest.raises(ValueError, match="targets"):
+        Tuner(task, measurer=MeasurePipeline(arm_cpu())).tune()
+
+
+def test_network_session_honors_measurement_knobs():
+    """Regression: TuningOptions builder/runner knobs must reach the
+    scheduler's per-hardware pipelines, not just single-task sessions."""
+    options = TuningOptions(
+        num_measure_trials=12, num_measures_per_round=6, n_parallel=4, run_timeout=30.0
+    )
+    result = Tuner(["dcgan"], options=options, max_tasks_per_network=2).tune()
+    measurers = result.scheduler.measurers
+    assert measurers
+    assert all(m.builder.n_parallel == 4 for m in measurers)
+    assert all(m.runner.timeout == 30.0 for m in measurers)
+
+
 def test_network_session_records_all_tasks_to_one_log(tmp_path):
     log = tmp_path / "net.json"
     options = TuningOptions(num_measure_trials=12, num_measures_per_round=6)

@@ -18,8 +18,25 @@ any real compiler).  The benchmark asserts bit-level cost parity between the
 two paths and a measured wall-clock speedup for the parallel builder, and
 merges ``measured_trials_per_sec`` into ``BENCH_search_throughput.json``
 next to the search-throughput numbers.
+
+A second stage gates the remote backend: the same batch through
+
+* **thread**: ``LocalBuilder`` with ``N_PARALLEL`` threads,
+* **rpc**: :class:`~repro.hardware.rpc.RpcBuilder` with ``N_PARALLEL``
+  worker processes,
+
+this time with a *CPU-bound* emulated compile cost (``RPC_BUILD_CPU`` of
+burned CPU time per candidate — in-process IR passes, which the GIL
+serializes across threads but worker processes genuinely parallelize).  On
+a multi-core host the process pool must be at least as fast as the thread
+pool; on a single-core host true parallelism is physically unavailable for
+either pool, so the gate only bounds the process pool's dispatch overhead.
+Both pools are warmed (worker start-up and lowering caches) before timing,
+so the gate compares steady-state dispatch, the regime a tuning session
+lives in.
 """
 
+import os
 import time
 from pathlib import Path
 
@@ -27,7 +44,7 @@ import numpy as np
 import pytest
 
 from repro.codegen.lowering import clear_lowering_cache
-from repro.hardware import LocalBuilder, MeasureInput, MeasurePipeline, intel_cpu
+from repro.hardware import LocalBuilder, MeasureInput, MeasurePipeline, RpcBuilder, intel_cpu
 from repro.search import generate_sketches, sample_initial_population
 from repro.task import SearchTask
 from repro.workloads import matmul_relu
@@ -38,6 +55,9 @@ N_CANDIDATES = 24
 N_PARALLEL = 8
 BUILD_LATENCY = 0.008  # emulated per-candidate compile cost (seconds)
 MIN_SPEEDUP = 2.0
+RPC_BUILD_CPU = 0.004  # emulated CPU-bound compile cost (seconds, burned)
+# True parallelism needs >1 core; a single-core host can only gate overhead.
+MIN_RPC_SPEEDUP = 1.0 if (os.cpu_count() or 1) > 1 else 0.6
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_search_throughput.json"
 
 
@@ -93,6 +113,48 @@ def run_measure_throughput():
     return result
 
 
+def run_rpc_throughput():
+    """The rpc-vs-local stage: process-pool vs thread-pool builds on a
+    CPU-bound emulated compile cost, both pools warmed before timing."""
+    inputs = _make_inputs()
+    thread = MeasurePipeline(
+        intel_cpu(),
+        builder=LocalBuilder(n_parallel=N_PARALLEL, build_cpu_sec=RPC_BUILD_CPU),
+        seed=0,
+    )
+    rpc = MeasurePipeline(
+        intel_cpu(),
+        builder=RpcBuilder(n_parallel=N_PARALLEL, build_cpu_sec=RPC_BUILD_CPU),
+        seed=0,
+    )
+    try:
+        # Warm-up pass: spawns the worker processes and fills the lowering
+        # caches (parent-side for threads, worker-side for rpc), so the
+        # timed pass compares steady-state dispatch on both paths.
+        thread.measure(inputs)
+        rpc.measure(inputs)
+        thread_results, thread_elapsed = _timed_measure(thread, inputs)
+        rpc_results, rpc_elapsed = _timed_measure(rpc, inputs)
+    finally:
+        rpc.builder.close()
+
+    parity = [r.costs for r in thread_results] == [r.costs for r in rpc_results]
+    result = {
+        "candidates": len(inputs),
+        "n_parallel": N_PARALLEL,
+        "build_cpu_sec": RPC_BUILD_CPU,
+        "cpu_count": os.cpu_count() or 1,
+        "thread_seconds": thread_elapsed,
+        "rpc_seconds": rpc_elapsed,
+        "thread_trials_per_sec": len(inputs) / thread_elapsed,
+        "rpc_trials_per_sec": len(inputs) / rpc_elapsed,
+        "speedup": thread_elapsed / rpc_elapsed,
+        "parity": parity,
+    }
+    merge_benchmark_result(RESULT_PATH, {"rpc_measure_throughput": result})
+    return result
+
+
 # Marked slow to keep the load-sensitive timing assertion out of the quick
 # `-m "not slow"` gates; CI runs it once by explicit path (takes ~0.5 s).
 @pytest.mark.slow
@@ -111,5 +173,23 @@ def test_measure_throughput_parallel_vs_serial():
     )
 
 
+@pytest.mark.slow
+def test_rpc_builder_vs_thread_builder():
+    result = run_rpc_throughput()
+    print("\n=== rpc measurement throughput: process pool vs thread pool ===")
+    print(f"candidates x cpu-bound cost: {result['candidates']} x {RPC_BUILD_CPU*1e3:.0f}ms "
+          f"({result['cpu_count']} cores)")
+    print(f"thread-pool builder (x{N_PARALLEL})  : {result['thread_trials_per_sec']:.0f} trials/s")
+    print(f"process-pool builder (x{N_PARALLEL}) : {result['rpc_trials_per_sec']:.0f} trials/s")
+    print(f"speedup                     : {result['speedup']:.2f}x (gate >= {MIN_RPC_SPEEDUP}x)")
+    print(f"results merged into         : {RESULT_PATH.name}")
+    assert result["parity"], "rpc-build costs diverged from the thread-pool path"
+    assert result["speedup"] >= MIN_RPC_SPEEDUP, (
+        f"process-pool builder is only {result['speedup']:.2f}x the thread-pool "
+        f"builder (need >= {MIN_RPC_SPEEDUP}x on {result['cpu_count']} core(s))"
+    )
+
+
 if __name__ == "__main__":
     test_measure_throughput_parallel_vs_serial()
+    test_rpc_builder_vs_thread_builder()

@@ -37,10 +37,16 @@ Measurement is a two-stage builder/runner pipeline
 in a thread pool (``TuningOptions.n_parallel``) with per-candidate timeouts,
 runners time them on the machine model with injectable fault models, and
 every outcome carries a :class:`repro.hardware.measure.MeasureErrorNo` error
-kind that round-trips through the tuning log.  The tracked baseline is
-``benchmarks/test_measure_throughput.py`` (measured trials/sec, merged into
-the same JSON); the no-fault path is bit-identical to the legacy serial
-measurer, enforced by ``tests/hardware/test_measure_pipeline.py``.
+kind that round-trips through the tuning log.  The remote ("rpc") backend
+(:mod:`repro.hardware.rpc`) swaps in a process-pool builder (true
+parallelism for CPU-bound lowering) and a device-pool runner with per-device
+fault profiles (``TuningOptions(builder="rpc", runner="rpc",
+devices=...)``), and transient ``RUN_ERROR`` faults are retried up to
+``TuningOptions.n_retry`` times instead of discarding the trial.  The
+tracked baseline is ``benchmarks/test_measure_throughput.py`` (measured
+trials/sec, merged into the same JSON); the no-fault path is bit-identical
+to the legacy serial measurer, enforced by
+``tests/hardware/test_measure_pipeline.py``.
 """
 
 from . import te
@@ -74,6 +80,7 @@ from .hardware.measure import (
     resolve_runner,
 )
 from .hardware.measurer import ProgramMeasurer
+from .hardware.rpc import DeviceProfile, RpcBuilder, RpcRunner
 from .hardware.simulator import CostSimulator
 from .ir.state import State
 from .records import TuningRecord, apply_history_best, load_records, records_to_curve, save_records
@@ -131,6 +138,9 @@ __all__ = [
     "FaultModel",
     "NoFaults",
     "RandomFaults",
+    "DeviceProfile",
+    "RpcBuilder",
+    "RpcRunner",
     "register_builder",
     "registered_builders",
     "resolve_builder",

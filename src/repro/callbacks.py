@@ -166,6 +166,11 @@ class ProgressLogger(MeasureCallback):
         if by_kind:
             breakdown = ", ".join(f"{name}={n}" for name, n in sorted(by_kind.items()))
             line += f" errors={sum(by_kind.values())} ({breakdown})"
+        # Transient-fault retries (the flaky-device recovery path) are worth
+        # seeing per round: a climbing retry rate means a degrading device.
+        retries = sum(getattr(res, "retry_count", 0) for res in event.results)
+        if retries:
+            line += f" retries={retries}"
         self._print(line)
 
     def on_scheduler_round(self, scheduler, record) -> None:

@@ -12,6 +12,12 @@ Layout:
   injectable :class:`FaultModel` failures, and every outcome carries a
   :class:`MeasureErrorNo` error kind.  :class:`MeasurePipeline` is the
   facade consumers drive.
+* :mod:`~repro.hardware.rpc` — the remote measurement backend:
+  :class:`RpcBuilder` compiles in a process pool (true parallelism for
+  CPU-bound lowering) and :class:`RpcRunner` dispatches runs to a pool of
+  named devices, each with its own :class:`DeviceProfile` (noise, fault
+  rates, queue latency, slowdown).  Registered as ``"rpc"`` in both
+  registries.
 * :mod:`~repro.hardware.measurer` — the legacy :class:`ProgramMeasurer`,
   now a thin serial/no-fault shim over :class:`MeasurePipeline`.
 """
@@ -38,6 +44,7 @@ from .measure import (
 )
 from .measurer import ProgramMeasurer
 from .platform import CacheLevel, HardwareParams, arm_cpu, intel_cpu, intel_cpu_avx512, nvidia_gpu, target_from_name
+from .rpc import DeviceProfile, RpcBuilder, RpcRunner
 from .simulator import CostSimulator, NestCost, ProgramCost
 
 __all__ = [
@@ -62,6 +69,9 @@ __all__ = [
     "LocalBuilder",
     "ProgramRunner",
     "LocalRunner",
+    "DeviceProfile",
+    "RpcBuilder",
+    "RpcRunner",
     "MeasurePipeline",
     "ProgramMeasurer",
     "register_builder",

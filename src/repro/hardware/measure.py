@@ -50,6 +50,43 @@ best-state tracking, but they *do* consume measurement trials and simulated
 wall-clock — error-heavy searches are charged for the time they waste, as
 on a real machine.
 
+Retry policy — transient faults are retried, not discarded
+----------------------------------------------------------
+``RUN_ERROR`` is the documented "retrying the same program can succeed"
+case: the paper's runners re-run a candidate on a flaky device instead of
+throwing the trial away.  :class:`MeasurePipeline` reproduces that with
+``n_retry`` (threaded from :attr:`~repro.task.TuningOptions.n_retry`): a
+result whose ``error_no`` is ``RUN_ERROR`` is re-run up to ``n_retry``
+times through the runner stage (the build is reused — only the run stage
+failed).  The attempts merge into one :class:`MeasureResult` whose
+``retry_count`` records how many re-runs happened; wall-clock of every
+attempt accumulates into ``elapsed_sec`` and each attempt is charged
+simulated measurement latency, so recovered trials still pay for the device
+time they burned.  A retried program is still *one* trial: it trains the
+cost model once, appears in the tuning log once (``retry_count``
+round-trips through :mod:`repro.records`), and consumes one unit of the
+trial budget.
+
+Per-device fault profiles — the remote backend
+----------------------------------------------
+:mod:`repro.hardware.rpc` builds the distributed measurer of the paper on
+top of the registries here: ``register_builder("rpc", ...)`` is a
+process-pool :class:`~repro.hardware.rpc.RpcBuilder` (true parallelism for
+CPU-bound lowering) and ``register_runner("rpc", ...)`` an
+:class:`~repro.hardware.rpc.RpcRunner` that dispatches each run to a pool
+of named devices, each with its own
+:class:`~repro.hardware.rpc.DeviceProfile` (noise, transient-fault and
+timeout rates, queue latency, relative slowdown) instead of averaging the
+fleet's behaviour away::
+
+    from repro import DeviceProfile, Tuner, TuningOptions
+
+    options = TuningOptions(
+        builder="rpc", runner="rpc", n_parallel=8, n_retry=2,
+        devices=[DeviceProfile("board0"),
+                 DeviceProfile("board1", run_error_prob=0.05, slowdown=1.5)])
+    result = Tuner(task, options=options).tune()
+
 Builders and runners are selectable through string-keyed registries
 (:func:`register_builder` / :func:`register_runner`), the same pattern the
 search policies use, so :class:`~repro.tuner.Tuner` can pick them from
@@ -60,6 +97,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import IntEnum
@@ -144,14 +182,18 @@ class MeasureResult:
 
     ``error_no`` is the machine-readable kind (:class:`MeasureErrorNo`);
     ``error`` keeps the human-readable message.  ``elapsed_sec`` is the
-    wall-clock the pipeline spent on this candidate (build + run), so failed
-    trials are plottable and chargeable too.
+    wall-clock the pipeline spent on this candidate (build + run, summed
+    over every retry attempt), so failed trials are plottable and chargeable
+    too.  ``retry_count`` is how many times the run stage was re-executed
+    after a transient ``RUN_ERROR`` (see the module's retry-policy section);
+    it round-trips through the tuning log.
     """
 
     costs: List[float]
     error: Optional[str] = None
     error_no: int = MeasureErrorNo.NO_ERROR
     elapsed_sec: float = 0.0
+    retry_count: int = 0
     timestamp: float = field(default_factory=time.time)
 
     def __post_init__(self) -> None:
@@ -224,6 +266,10 @@ class FaultModel:
         """Extra per-repeat multipliers (``None`` = leave timings alone)."""
         return None
 
+    def reset(self) -> None:
+        """Drop any accumulated per-program state (start of a fresh tuning
+        session).  The base model is stateless, so this is a no-op."""
+
 
 class NoFaults(FaultModel):
     """The explicit no-fault model (the default)."""
@@ -238,6 +284,19 @@ class RandomFaults(FaultModel):
     reproducible, and *transient* faults really are transient: the
     transient-error draw is salted with a retry counter, so re-measuring the
     same program can succeed.
+
+    The per-program retry counters are bounded: only the
+    ``max_tracked_programs`` most recently drawn programs are tracked
+    (least-recently-used eviction), so a fault model living across many long
+    tuning sessions holds O(1) state instead of one entry per distinct
+    program ever measured.  An evicted program restarts at attempt 0 —
+    faults stay deterministic given the same measurement history.  Keep the
+    bound larger than a round's batch size: if a single batch faults more
+    distinct programs than the bound, a program's counter can be evicted
+    between its retry draws, restarting its attempt sequence and making its
+    "transient" fault repeat (the default 4096 is far above any realistic
+    ``num_measures_per_round``).  :meth:`reset` drops all counters at once
+    (a fresh tuning session).
     """
 
     def __init__(
@@ -247,6 +306,7 @@ class RandomFaults(FaultModel):
         run_timeout_prob: float = 0.0,
         extra_noise: float = 0.0,
         seed: int = 0,
+        max_tracked_programs: int = 4096,
     ):
         for name, p in (
             ("build_error_prob", build_error_prob),
@@ -255,12 +315,27 @@ class RandomFaults(FaultModel):
         ):
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if max_tracked_programs < 1:
+            raise ValueError("max_tracked_programs must be >= 1")
         self.build_error_prob = build_error_prob
         self.run_error_prob = run_error_prob
         self.run_timeout_prob = run_timeout_prob
         self.extra_noise = extra_noise
         self.seed = seed
-        self._transient_draws: Dict[str, int] = {}
+        self.max_tracked_programs = max_tracked_programs
+        self._transient_draws: "OrderedDict[str, int]" = OrderedDict()
+
+    def reset(self) -> None:
+        self._transient_draws.clear()
+
+    def _next_attempt(self, key: str) -> int:
+        """The retry-counter draw for a program, under the LRU bound."""
+        attempt = self._transient_draws.get(key, 0)
+        self._transient_draws[key] = attempt + 1
+        self._transient_draws.move_to_end(key)
+        while len(self._transient_draws) > self.max_tracked_programs:
+            self._transient_draws.popitem(last=False)
+        return attempt
 
     def build_fault(self, inp: MeasureInput) -> Optional[Tuple[MeasureErrorNo, str]]:
         if self.build_error_prob <= 0:
@@ -279,8 +354,7 @@ class RandomFaults(FaultModel):
             # Digest key: a long session measures many distinct programs, and
             # full step reprs would retain multi-KB strings per program.
             key = hashlib.sha256(repr(inp.state.serialize_steps()).encode()).hexdigest()
-            attempt = self._transient_draws.get(key, 0)
-            self._transient_draws[key] = attempt + 1
+            attempt = self._next_attempt(key)
             rng = _program_rng(inp, self.seed, f"run/{attempt}")
             if rng.random() < self.run_error_prob:
                 return (
@@ -390,7 +464,11 @@ class LocalBuilder(ProgramBuilder):
     thread cannot be preempted mid-build).  ``build_latency_sec``
     emulates the compiler-invocation cost of a real build (which is
     subprocess/I/O-bound and therefore genuinely overlapped by threads) on
-    top of the analytical lowering.
+    top of the analytical lowering.  ``build_cpu_sec`` emulates the
+    *CPU-bound* part of a build (in-process IR passes) by burning that much
+    thread CPU time — threads cannot overlap it (the GIL serializes it),
+    which is exactly the workload the process-pool
+    :class:`~repro.hardware.rpc.RpcBuilder` exists for.
     """
 
     def __init__(
@@ -398,15 +476,19 @@ class LocalBuilder(ProgramBuilder):
         n_parallel: int = 1,
         timeout: Optional[float] = None,
         build_latency_sec: float = 0.0,
+        build_cpu_sec: float = 0.0,
         fault_model: Optional[FaultModel] = None,
     ):
         if n_parallel < 1:
             raise ValueError("n_parallel must be >= 1")
         if timeout is not None and timeout <= 0:
             raise ValueError("build timeout must be positive (or None)")
+        if build_latency_sec < 0 or build_cpu_sec < 0:
+            raise ValueError("emulated build costs must be >= 0")
         self.n_parallel = n_parallel
         self.timeout = timeout
         self.build_latency_sec = build_latency_sec
+        self.build_cpu_sec = build_cpu_sec
         self.fault_model = fault_model or NoFaults()
 
     # ------------------------------------------------------------------
@@ -445,6 +527,10 @@ class LocalBuilder(ProgramBuilder):
         # time, as documented).
         if self.build_latency_sec > 0:
             time.sleep(self.build_latency_sec)
+        if self.build_cpu_sec > 0:
+            burn_until = time.thread_time() + self.build_cpu_sec
+            while time.thread_time() < burn_until:
+                pass
 
         def elapsed() -> float:
             return (time.thread_time() - cpu_start) + self.build_latency_sec
@@ -547,6 +633,11 @@ class LocalRunner(ProgramRunner):
         rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
         return 1.0 + rng.normal(0.0, self.noise, size=count)
 
+    def _estimate_base(self, inp: MeasureInput, build: BuildResult) -> float:
+        """The device's base runtime for a built program (seconds).  Hook for
+        device-profile runners (a slow board scales this)."""
+        return self.simulator.estimate_lowered(build.program).total_seconds
+
     def run_one(self, inp: MeasureInput, build: BuildResult) -> MeasureResult:
         start = time.perf_counter()
         if not build.ok:
@@ -566,7 +657,7 @@ class LocalRunner(ProgramRunner):
                 elapsed_sec=build.elapsed_sec + (time.perf_counter() - start),
             )
         try:
-            base = self.simulator.estimate_lowered(build.program).total_seconds
+            base = self._estimate_base(inp, build)
         except Exception as exc:  # device-side analysis failure
             return MeasureResult(
                 costs=[],
@@ -626,7 +717,10 @@ class MeasurePipeline:
         seed: int = 0,
         measure_latency_sec: float = 0.0,
         fault_model: Optional[FaultModel] = None,
+        n_retry: int = 0,
     ):
+        if n_retry < 0:
+            raise ValueError("n_retry must be >= 0")
         # Stage knobs configure the auto-built stages only; pairing a ready
         # instance with knobs for that stage is rejected rather than silently
         # ignored (the same rule :meth:`from_options` applies).
@@ -665,10 +759,15 @@ class MeasurePipeline:
             )
         self.builder = builder
         self.runner = runner
+        #: how many times a RUN_ERROR (transient device fault) is re-run
+        #: before the trial is given up (0 = the old fail-fast behaviour)
+        self.n_retry = n_retry
         #: optional simulated wall-clock cost per measurement (for search-time accounting)
         self.measure_latency_sec = measure_latency_sec
         #: total number of measurement trials performed
         self.measure_count = 0
+        #: total run-stage retry attempts across all trials
+        self.retry_count = 0
         #: measurements that failed to build or run (invalid schedules, faults)
         self.error_count = 0
         #: per-kind error counters (only non-NO_ERROR kinds appear)
@@ -710,11 +809,35 @@ class MeasurePipeline:
             )
         runner = options.runner
         if isinstance(runner, str):
-            runner = resolve_runner(runner)(hardware, seed=seed, timeout=options.run_timeout)
+            runner_kwargs = {"seed": seed, "timeout": options.run_timeout}
+            if options.devices is not None:
+                # Only device-aware runner factories (e.g. "rpc") take the
+                # profile list; picking a device-blind one with devices set
+                # must error, not silently measure on an averaged machine.
+                runner_kwargs["devices"] = options.devices
+            try:
+                runner = resolve_runner(runner)(hardware, **runner_kwargs)
+            except TypeError as exc:
+                # Translate only the precise "factory is device-blind" case;
+                # any other TypeError (e.g. a malformed device entry) must
+                # surface as itself, not as a misleading runner complaint.
+                if "unexpected keyword argument 'devices'" not in str(exc):
+                    raise
+                raise ValueError(
+                    f"runner {options.runner!r} does not accept device "
+                    "profiles (TuningOptions.devices); select a device-aware "
+                    "runner such as 'rpc'"
+                ) from None
         else:
             if options.run_timeout is not None:
                 raise ValueError(
                     "TuningOptions.runner is a ready instance, so run_timeout "
+                    "would be silently ignored; configure the runner instance "
+                    "directly or select a runner by name"
+                )
+            if options.devices is not None:
+                raise ValueError(
+                    "TuningOptions.runner is a ready instance, so devices "
                     "would be silently ignored; configure the runner instance "
                     "directly or select a runner by name"
                 )
@@ -728,7 +851,7 @@ class MeasurePipeline:
                     f"session needs a pipeline for {hardware.name!r}; drop the "
                     "runner instance or supply a matching measurer explicitly"
                 )
-        return cls(hardware, builder=builder, runner=runner)
+        return cls(hardware, builder=builder, runner=runner, n_retry=options.n_retry)
 
     # -- compat accessors (the old ProgramMeasurer surface) ---------------
     @property
@@ -754,16 +877,51 @@ class MeasurePipeline:
     # ------------------------------------------------------------------
     def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResult]:
         """Measure a batch of programs: build all (possibly in parallel),
-        run all, update counters and per-workload bests."""
+        run all, retry transient run faults up to ``n_retry`` times, update
+        counters and per-workload bests."""
         if not inputs:
             return []
         start = time.perf_counter()
         build_results = self.builder.build(inputs)
         results = self.runner.run(inputs, build_results)
+        self._retry_transient(inputs, build_results, results)
         self.wall_sec += time.perf_counter() - start
         for inp, res in zip(inputs, results):
             self._account(inp, res)
         return results
+
+    def _retry_transient(
+        self,
+        inputs: Sequence[MeasureInput],
+        build_results: Sequence[BuildResult],
+        results: List[MeasureResult],
+    ) -> None:
+        """Re-run RUN_ERROR results in place, up to ``n_retry`` attempts each.
+
+        Only the run stage repeats — the build succeeded (a ``RUN_ERROR`` is
+        a device-side fault), so the lowered program is reused.  Attempts
+        merge into the original result slot: ``retry_count`` counts the
+        re-runs and ``elapsed_sec`` accumulates across attempts, so one
+        retried program stays one trial everywhere downstream (cost-model
+        training, records, the budget)."""
+        for _ in range(self.n_retry):
+            retry_idx = [
+                i for i, res in enumerate(results)
+                if res.error_no == MeasureErrorNo.RUN_ERROR
+            ]
+            if not retry_idx:
+                return
+            fresh = self.runner.run(
+                [inputs[i] for i in retry_idx],
+                [build_results[i] for i in retry_idx],
+            )
+            for i, res in zip(retry_idx, fresh):
+                res.retry_count = results[i].retry_count + 1
+                # Every attempt's result embeds the build's elapsed time
+                # (run_one charges it on every path); the build executed
+                # once, so count it once when accumulating across attempts.
+                res.elapsed_sec += results[i].elapsed_sec - build_results[i].elapsed_sec
+                results[i] = res
 
     def measure_one(self, inp: MeasureInput) -> MeasureResult:
         """Measure a single program."""
@@ -771,10 +929,13 @@ class MeasurePipeline:
 
     def _account(self, inp: MeasureInput, res: MeasureResult) -> None:
         self.measure_count += 1
+        self.retry_count += res.retry_count
         # Every trial is charged simulated wall-clock, *including* failures:
         # a failed build still occupied the machine (the old serial measurer
         # skipped charging errors, undercounting error-heavy searches).
-        self.elapsed_sec += self.measure_latency_sec
+        # Every retry attempt is a full extra occupation of the device, so a
+        # recovered trial is charged (1 + retry_count) times.
+        self.elapsed_sec += self.measure_latency_sec * (1 + res.retry_count)
         if not res.valid:
             self.error_count += 1
             kind = res.error_kind

@@ -1,0 +1,433 @@
+"""The remote ("rpc") measurement backend: process-pool builds, device pools.
+
+The paper's measurer (§3) is explicitly distributed: builders compile on the
+host in parallel, and runners execute built programs on a *pool* of target
+devices reached over RPC — devices that are flaky, queue-limited, and not
+necessarily identical.  This module reproduces that topology on top of the
+builder/runner registries of :mod:`repro.hardware.measure`:
+
+* :class:`RpcBuilder` (``register_builder("rpc")``) compiles candidates in a
+  **process pool**.  The thread-pool :class:`~repro.hardware.measure.LocalBuilder`
+  overlaps the I/O-bound part of a build (compiler subprocesses), but the
+  CPU-bound part — in-process lowering and IR passes — serializes on the
+  GIL; worker processes give it true parallelism.  Timeout semantics are
+  inherited unchanged from ``LocalBuilder``: each candidate is bounded by
+  its *own* build cost (worker thread CPU time plus emulated compile
+  latency), never by its queue position.
+* :class:`RpcRunner` (``register_runner("rpc")``) models the device pool:
+  every run is dispatched to one of a set of named devices, each described
+  by a :class:`DeviceProfile` — its own measurement noise, transient-fault
+  and timeout rates, queue latency, and relative slowdown — instead of
+  averaging the fleet's behaviour into one synthetic machine.  Dispatch is
+  ``"round-robin"`` (the default) or ``"least-loaded"`` (by simulated busy
+  seconds).  :meth:`RpcRunner.device_stats` reports per-device runs, errors
+  and busy time.
+
+With a single default-profile device and no faults, the rpc runner is
+bit-identical to the local runner (same hash-seeded noise, same simulator),
+so switching ``TuningOptions(runner="rpc")`` on is behaviour-preserving
+until device profiles are actually configured — enforced by
+``tests/hardware/test_rpc.py``.
+
+Transient faults pair with the retry policy of
+:class:`~repro.hardware.measure.MeasurePipeline` (``TuningOptions.n_retry``):
+a ``RUN_ERROR`` from a flaky device is re-dispatched — round-robin advances,
+so the retry typically lands on a *different* device, like the reference
+implementation's runner pool.
+
+Usage::
+
+    from repro import DeviceProfile, Tuner, TuningOptions
+
+    options = TuningOptions(
+        builder="rpc", runner="rpc", n_parallel=8, n_retry=2,
+        devices=[
+            DeviceProfile("board0"),
+            DeviceProfile("board1", run_error_prob=0.05, slowdown=1.5),
+        ])
+    result = Tuner(task, options=options).tune()
+
+``devices`` also accepts plain names (``["a", "b"]``), dicts
+(``[{"name": "a", "run_error_prob": 0.1}]``) or an int (``4`` = four
+default-profile devices).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .measure import (
+    BuildResult,
+    FaultModel,
+    LocalBuilder,
+    LocalRunner,
+    MeasureInput,
+    MeasureResult,
+    ProgramRunner,
+    RandomFaults,
+    register_builder,
+    register_runner,
+)
+from .platform import HardwareParams
+
+__all__ = ["DeviceProfile", "RpcBuilder", "RpcRunner"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One named device of an :class:`RpcRunner` pool.
+
+    The default profile is a perfectly behaved clone of the local runner's
+    device; every field models one way a real board deviates:
+
+    * ``noise`` — per-device run-to-run noise level (``None`` = the runner's
+      default).
+    * ``run_error_prob`` / ``run_timeout_prob`` — per-run probability of a
+      transient ``RUN_ERROR`` (retryable) / an injected ``RUN_TIMEOUT``.
+    * ``extra_noise`` — extra multiplicative timing jitter (a flaky board).
+    * ``queue_latency_sec`` — simulated per-run dispatch/queue cost, charged
+      to the result's elapsed accounting and to the device's busy time (it
+      is not slept).
+    * ``slowdown`` — relative device speed: measured costs scale by this
+      factor (1.5 = 50% slower than the machine model), and a slow device
+      hits the run timeout earlier, as it would in reality.
+    """
+
+    name: str
+    noise: Optional[float] = None
+    run_error_prob: float = 0.0
+    run_timeout_prob: float = 0.0
+    extra_noise: float = 0.0
+    queue_latency_sec: float = 0.0
+    slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("DeviceProfile needs a non-empty name")
+        for field_name in ("run_error_prob", "run_timeout_prob"):
+            p = getattr(self, field_name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {p}")
+        if self.noise is not None and self.noise < 0:
+            raise ValueError("noise must be >= 0 (or None for the runner default)")
+        if self.extra_noise < 0 or self.queue_latency_sec < 0:
+            raise ValueError("extra_noise / queue_latency_sec must be >= 0")
+        if self.slowdown <= 0:
+            raise ValueError("slowdown must be positive")
+
+    @property
+    def has_faults(self) -> bool:
+        return (
+            self.run_error_prob > 0
+            or self.run_timeout_prob > 0
+            or self.extra_noise > 0
+        )
+
+
+DeviceLike = Union[DeviceProfile, str, dict]
+
+
+def _normalize_devices(
+    devices: Union[None, int, Sequence[DeviceLike]],
+) -> Tuple[DeviceProfile, ...]:
+    """Accept profiles, names, dicts, a count, or None (one default device)."""
+    if devices is None:
+        return (DeviceProfile("dev0"),)
+    if isinstance(devices, int):
+        if devices < 1:
+            raise ValueError("device count must be >= 1")
+        return tuple(DeviceProfile(f"dev{i}") for i in range(devices))
+    profiles: List[DeviceProfile] = []
+    for dev in devices:
+        if isinstance(dev, DeviceProfile):
+            profiles.append(dev)
+        elif isinstance(dev, str):
+            profiles.append(DeviceProfile(dev))
+        elif isinstance(dev, dict):
+            profiles.append(DeviceProfile(**dev))
+        else:
+            raise TypeError(
+                f"device must be a DeviceProfile, name, or dict; got {dev!r}"
+            )
+    if not profiles:
+        raise ValueError("RpcRunner needs at least one device")
+    names = [p.name for p in profiles]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate device names: {names}")
+    return tuple(profiles)
+
+
+def _device_seed(seed: int, name: str) -> int:
+    """A stable per-device fault seed (``hash()`` is salted per process)."""
+    digest = hashlib.sha256(f"{seed}/{name}".encode()).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+class _CompositeFaults(FaultModel):
+    """Session-level faults layered with a device's own profile faults: the
+    first model to report a fault wins; cost scales multiply."""
+
+    def __init__(self, models: Sequence[FaultModel]):
+        self.models = list(models)
+
+    def build_fault(self, inp: MeasureInput):
+        for model in self.models:
+            fault = model.build_fault(inp)
+            if fault is not None:
+                return fault
+        return None
+
+    def run_fault(self, inp: MeasureInput):
+        for model in self.models:
+            fault = model.run_fault(inp)
+            if fault is not None:
+                return fault
+        return None
+
+    def cost_scale(self, inp: MeasureInput, repeats: int):
+        combined: Optional[np.ndarray] = None
+        for model in self.models:
+            scale = model.cost_scale(inp, repeats)
+            if scale is not None:
+                combined = scale if combined is None else combined * scale
+        return combined
+
+    def reset(self) -> None:
+        for model in self.models:
+            model.reset()
+
+
+class _DeviceRunner(LocalRunner):
+    """The local runner specialized to one :class:`DeviceProfile`."""
+
+    def __init__(
+        self,
+        hardware: HardwareParams,
+        profile: DeviceProfile,
+        noise: float,
+        repeats: int,
+        seed: int,
+        timeout: Optional[float],
+        fault_model: Optional[FaultModel],
+    ):
+        parts: List[FaultModel] = []
+        if fault_model is not None:
+            parts.append(fault_model)
+        if profile.has_faults:
+            parts.append(
+                RandomFaults(
+                    run_error_prob=profile.run_error_prob,
+                    run_timeout_prob=profile.run_timeout_prob,
+                    extra_noise=profile.extra_noise,
+                    seed=_device_seed(seed, profile.name),
+                )
+            )
+        # A single part is passed through unwrapped so the default profile
+        # makes exactly the calls LocalRunner would (bit parity).
+        effective = parts[0] if len(parts) == 1 else (_CompositeFaults(parts) if parts else None)
+        super().__init__(
+            hardware,
+            noise=profile.noise if profile.noise is not None else noise,
+            repeats=repeats,
+            seed=seed,
+            timeout=timeout,
+            fault_model=effective,
+        )
+        self.profile = profile
+
+    def _estimate_base(self, inp: MeasureInput, build: BuildResult) -> float:
+        base = super()._estimate_base(inp, build)
+        if self.profile.slowdown != 1.0:
+            base *= self.profile.slowdown
+        return base
+
+    def run_one(self, inp: MeasureInput, build: BuildResult) -> MeasureResult:
+        result = super().run_one(inp, build)
+        if build.ok and self.profile.queue_latency_sec > 0:
+            result.elapsed_sec += self.profile.queue_latency_sec
+        return result
+
+
+@register_runner("rpc")
+class RpcRunner(ProgramRunner):
+    """Run built programs on a pool of named, individually profiled devices.
+
+    Each run is dispatched to one device (``dispatch="round-robin"`` or
+    ``"least-loaded"``); the device's :class:`DeviceProfile` decides noise,
+    fault injection, queue latency and slowdown.  Build failures never reach
+    a device (they are reported straight through, as in the local runner).
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareParams,
+        devices: Union[None, int, Sequence[DeviceLike]] = None,
+        dispatch: str = "round-robin",
+        noise: float = 0.03,
+        repeats: int = 3,
+        seed: int = 0,
+        timeout: Optional[float] = None,
+        fault_model: Optional[FaultModel] = None,
+    ):
+        if dispatch not in ("round-robin", "least-loaded"):
+            raise ValueError(
+                f"unknown dispatch {dispatch!r}; use 'round-robin' or 'least-loaded'"
+            )
+        self.hardware = hardware
+        self.devices = _normalize_devices(devices)
+        self.dispatch = dispatch
+        self.noise = noise
+        self.repeats = repeats
+        self.seed = seed
+        self.timeout = timeout
+        self._runners = [
+            _DeviceRunner(hardware, profile, noise, repeats, seed, timeout, fault_model)
+            for profile in self.devices
+        ]
+        self._cursor = 0
+        #: simulated busy seconds per device (queue latency + measured costs)
+        self._load = [0.0] * len(self.devices)
+        self._stats: Dict[str, Dict[str, float]] = {
+            profile.name: {"runs": 0, "errors": 0, "busy_sec": 0.0}
+            for profile in self.devices
+        }
+
+    # -- MeasurePipeline compat accessors --------------------------------
+    @property
+    def simulator(self):
+        return self._runners[0].simulator
+
+    # ------------------------------------------------------------------
+    def _pick_device(self) -> int:
+        if self.dispatch == "round-robin":
+            index = self._cursor % len(self._runners)
+            self._cursor += 1
+            return index
+        return min(range(len(self._runners)), key=lambda i: self._load[i])
+
+    def run(
+        self, inputs: Sequence[MeasureInput], build_results: Sequence[BuildResult]
+    ) -> List[MeasureResult]:
+        results: List[MeasureResult] = []
+        for inp, build in zip(inputs, build_results):
+            if not build.ok:
+                # A failed build never occupies a device: report it straight
+                # through without advancing dispatch or device stats.
+                results.append(self._runners[0].run_one(inp, build))
+                continue
+            index = self._pick_device()
+            result = self._runners[index].run_one(inp, build)
+            profile = self.devices[index]
+            busy = profile.queue_latency_sec + self._occupation(index, inp, build, result)
+            self._load[index] += busy
+            stats = self._stats[profile.name]
+            stats["runs"] += 1
+            stats["busy_sec"] += busy
+            if not result.valid:
+                stats["errors"] += 1
+            results.append(result)
+        return results
+
+    def _occupation(self, index, inp, build, result) -> float:
+        """Simulated seconds a run occupied its device.  A faulted run still
+        held the device for about the program's runtime — charging it zero
+        would make least-loaded dispatch treat a permanently failing board
+        as 'free' and funnel every run (and every retry) into it."""
+        if result.valid:
+            return sum(result.costs)
+        try:
+            base = self._runners[index]._estimate_base(inp, build)
+        except Exception:
+            return 0.0
+        return base * self.repeats
+
+    def device_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-device ``{"runs", "errors", "busy_sec"}`` counters."""
+        return {name: dict(stats) for name, stats in self._stats.items()}
+
+
+def _build_in_worker(builder: "RpcBuilder", inp: MeasureInput) -> BuildResult:
+    """Module-level worker entry point (bound methods don't pickle portably)."""
+    return builder.build_one(inp)
+
+
+@register_builder("rpc")
+class RpcBuilder(LocalBuilder):
+    """Compile candidates in a process pool: true parallelism for CPU-bound
+    lowering, which the thread-pool :class:`LocalBuilder` serializes on the
+    GIL.
+
+    The pool is created lazily on the first parallel batch and reused across
+    batches (worker start-up is paid once per session, and each worker keeps
+    its own warm lowering cache).  Per-candidate timeout semantics are
+    inherited from :class:`LocalBuilder`: the bound applies to the
+    candidate's own build cost measured in the worker (thread CPU time plus
+    emulated compile latency), never to queue position.  A broken pool
+    (killed worker, unpicklable input) does not lose the batch: the builder
+    falls back to in-process builds and starts a fresh pool on the next
+    batch.
+    """
+
+    def __init__(
+        self,
+        n_parallel: int = 1,
+        timeout: Optional[float] = None,
+        build_latency_sec: float = 0.0,
+        build_cpu_sec: float = 0.0,
+        fault_model: Optional[FaultModel] = None,
+    ):
+        super().__init__(
+            n_parallel=n_parallel,
+            timeout=timeout,
+            build_latency_sec=build_latency_sec,
+            build_cpu_sec=build_cpu_sec,
+            fault_model=fault_model,
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # The builder itself is pickled to the workers; the pool handle must not
+    # travel with it.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_parallel)
+        return self._pool
+
+    def build(self, inputs: Sequence[MeasureInput]) -> List[BuildResult]:
+        if not inputs:
+            return []
+        if self.n_parallel <= 1 or len(inputs) == 1:
+            results = [self.build_one(inp) for inp in inputs]
+        else:
+            try:
+                results = list(
+                    self._ensure_pool().map(
+                        _build_in_worker, itertools.repeat(self), inputs
+                    )
+                )
+            except Exception:
+                self.close()
+                results = [self.build_one(inp) for inp in inputs]
+        return [self._apply_timeout(result) for result in results]
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a later batch restarts it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

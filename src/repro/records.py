@@ -5,9 +5,11 @@ log file so tuning can be resumed or the best schedule re-applied later
 without re-searching.  A record stores the workload key, the target name,
 the program's full transform-step history, the measured costs, and — since
 measurement became a builder/runner pipeline — the machine-readable error
-kind (:class:`~repro.hardware.measure.MeasureErrorNo`) plus the wall-clock
-the pipeline spent on the candidate, so failed trials are resumable and
-plottable (error-rate curves, time-per-trial) rather than opaque strings.
+kind (:class:`~repro.hardware.measure.MeasureErrorNo`), the wall-clock the
+pipeline spent on the candidate, and how many transient-fault retries the
+run stage needed (``retry_count``), so failed trials are resumable and
+plottable (error-rate curves, time-per-trial, retry rates) rather than
+opaque strings.
 
 Legacy logs load unchanged: lines without an ``error_no`` field derive it
 from the error string (``UNKNOWN_ERROR`` when one is present, ``NO_ERROR``
@@ -64,6 +66,7 @@ class TuningRecord:
     error: Optional[str] = None
     error_no: int = MeasureErrorNo.NO_ERROR
     elapsed_sec: float = 0.0
+    retry_count: int = 0
     timestamp: float = 0.0
 
     def __post_init__(self) -> None:
@@ -82,6 +85,7 @@ class TuningRecord:
             error=res.error,
             error_no=int(res.error_no),
             elapsed_sec=res.elapsed_sec,
+            retry_count=int(getattr(res, "retry_count", 0)),
             timestamp=res.timestamp or time.time(),
         )
 
@@ -95,6 +99,7 @@ class TuningRecord:
                 "error": self.error,
                 "error_no": int(self.error_no),
                 "elapsed_sec": self.elapsed_sec,
+                "retry_count": self.retry_count,
                 "timestamp": self.timestamp,
             }
         )
@@ -110,6 +115,7 @@ class TuningRecord:
             error=data.get("error"),
             error_no=int(data.get("error_no", MeasureErrorNo.NO_ERROR)),
             elapsed_sec=float(data.get("elapsed_sec", 0.0)),
+            retry_count=int(data.get("retry_count", 0)),
             timestamp=data.get("timestamp", 0.0),
         )
 

@@ -40,9 +40,18 @@ from ..search.sketch_policy import SketchPolicy
 from ..task import SearchTask
 from .objectives import EarlyStoppingLatency, Objective, WeightedSumLatency
 
-__all__ = ["TaskScheduler", "TaskSchedulerRecord"]
+__all__ = ["TaskScheduler", "TaskSchedulerRecord", "UNMEASURED_LATENCY_SEC"]
 
 PolicyFactory = Callable[[SearchTask, CostModel, int], SearchPolicy]
+
+#: Placeholder latency (seconds) substituted for a task that has no finite
+#: measurement yet.  Used consistently by :meth:`TaskScheduler.objective_value`
+#: and :meth:`TaskScheduler.dnn_latency`: a *pessimistic* 1 s per unmeasured
+#: task keeps the pre-warm-up tuning curve finite and non-increasing as real
+#: measurements land, and never *under*-reports an end-to-end latency
+#: (``dnn_latency`` used to substitute 0.0, silently claiming an untuned
+#: subgraph was free).
+UNMEASURED_LATENCY_SEC = 1.0
 
 
 @dataclass
@@ -70,9 +79,12 @@ class TaskScheduler:
         beta: float = 2.0,
         backward_window: int = 3,
         eps_greedy: float = 0.05,
+        max_empty_rounds: int = 2,
         seed: int = 0,
         verbose: int = 0,
     ):
+        if max_empty_rounds < 1:
+            raise ValueError("max_empty_rounds must be >= 1")
         if strategy not in ("gradient", "round_robin"):
             raise ValueError(f"unknown scheduling strategy {strategy!r}")
         self.tasks = list(tasks)
@@ -87,6 +99,7 @@ class TaskScheduler:
         self.beta = beta
         self.backward_window = backward_window
         self.eps_greedy = eps_greedy
+        self.max_empty_rounds = max_empty_rounds
         self.verbose = verbose
         self.seed = seed
         self.rng = np.random.default_rng(seed)
@@ -106,6 +119,10 @@ class TaskScheduler:
         self.allocations: List[int] = [0] * n
         #: tasks a callback early-stopped (no further rounds are allocated)
         self.exhausted: List[bool] = [False] * n
+        #: consecutive rounds in which a task's policy produced no candidates
+        #: (reset on any productive round; at ``max_empty_rounds`` the task
+        #: is marked exhausted)
+        self.empty_rounds: List[int] = [0] * n
         #: best latency per task (g_i), infinity before the first measurement
         self.best_costs: List[float] = [float("inf")] * n
         #: per-task history of best latency after each allocated round
@@ -300,9 +317,21 @@ class TaskScheduler:
                     except StopTuning:
                         stopped = True
                 if consumed == 0:
-                    # The policy could not produce new candidates; avoid an
-                    # infinite loop by charging one trial.
-                    consumed = 1
+                    # The policy produced no candidates.  Charge one phantom
+                    # trial so the loop provably terminates, but track the
+                    # dry spell: a task that is repeatedly empty (its space
+                    # enumerated or fully deduplicated) is exhausted and must
+                    # stop being selected — it used to be re-selectable
+                    # forever, burning the remaining budget one phantom trial
+                    # at a time while appending stale points to its latency
+                    # history.  Empty rounds leave the history untouched.
+                    self.total_trials += 1
+                    self.allocations[index] += 1
+                    self.empty_rounds[index] += 1
+                    if self.empty_rounds[index] >= self.max_empty_rounds:
+                        self.exhausted[index] = True
+                    continue
+                self.empty_rounds[index] = 0
                 if stopped:
                     self.exhausted[index] = True
                 self.total_trials += consumed
@@ -331,15 +360,24 @@ class TaskScheduler:
         return list(self.best_costs)
 
     # ------------------------------------------------------------------
+    def _finite_costs(self) -> List[float]:
+        """Best costs with :data:`UNMEASURED_LATENCY_SEC` substituted for
+        tasks that have no finite measurement yet (see the constant's docs
+        for the semantics)."""
+        return [
+            c if math.isfinite(c) else UNMEASURED_LATENCY_SEC for c in self.best_costs
+        ]
+
     def objective_value(self) -> float:
-        finite = [c if math.isfinite(c) else 1.0 for c in self.best_costs]
-        return self.objective.value(finite)
+        return self.objective.value(self._finite_costs())
 
     def dnn_latency(self, dnn: int = 0) -> float:
-        """End-to-end latency estimate of one DNN (sum of weighted task latencies)."""
-        return self.objective.dnn_latency(
-            [c if math.isfinite(c) else 0.0 for c in self.best_costs], dnn
-        )
+        """End-to-end latency estimate of one DNN (sum of weighted task
+        latencies).  Unmeasured tasks contribute the same pessimistic
+        :data:`UNMEASURED_LATENCY_SEC` placeholder as :meth:`objective_value`
+        — a partially tuned network reports an upper-bound-ish latency
+        rather than pretending untuned subgraphs cost nothing."""
+        return self.objective.dnn_latency(self._finite_costs(), dnn)
 
     def best_states(self) -> List[Optional[State]]:
         return [policy.best_state for policy in self.policies]

@@ -9,13 +9,14 @@ a DNN) with the hardware it should be optimized for.  The task scheduler
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from .hardware.platform import HardwareParams, intel_cpu
 from .te.dag import ComputeDAG
 
 if TYPE_CHECKING:  # pragma: no cover - types only (avoid an import cycle)
     from .hardware.measure import ProgramBuilder, ProgramRunner
+    from .hardware.rpc import DeviceLike
 
 __all__ = ["SearchTask", "TuningOptions"]
 
@@ -80,6 +81,14 @@ class TuningOptions:
     build_timeout: Optional[float] = None
     #: per-candidate run timeout (simulated seconds; None = unbounded)
     run_timeout: Optional[float] = None
+    #: how many times a transient RUN_ERROR is re-run before the trial is
+    #: given up (the paper's flaky-device retry; 0 = fail fast)
+    n_retry: int = 0
+    #: device pool for a device-aware runner such as ``"rpc"``: a sequence
+    #: of :class:`~repro.hardware.rpc.DeviceProfile` / names / dicts, or an
+    #: int (that many default devices); None = the runner's single default
+    #: device.  Rejected when the selected runner is device-blind.
+    devices: "Optional[Union[int, Sequence[DeviceLike]]]" = None
 
     def __post_init__(self) -> None:
         if self.num_measure_trials <= 0:
@@ -94,3 +103,5 @@ class TuningOptions:
             raise ValueError("build_timeout must be positive (or None to disable)")
         if self.run_timeout is not None and self.run_timeout <= 0:
             raise ValueError("run_timeout must be positive (or None to disable)")
+        if self.n_retry < 0:
+            raise ValueError("n_retry must be >= 0")

@@ -120,7 +120,11 @@ class Tuner:
         Measurement backend override; defaults to a
         :class:`~repro.hardware.measure.MeasurePipeline` built from the
         options' builder/runner knobs on the workload's hardware (one per
-        distinct hardware target in multi-network sessions).
+        distinct hardware target in multi-network sessions).  The knobs
+        cover the remote backend too: ``TuningOptions(builder="rpc",
+        runner="rpc", n_parallel=8, n_retry=2, devices=[...])`` drives the
+        whole session through the process-pool builder and the device-pool
+        runner of :mod:`repro.hardware.rpc` with no other changes.
     hardware / batch / max_tasks_per_network / objective / scheduler_strategy:
         Network-session knobs, forwarded to the task extractor and the
         :class:`~repro.scheduler.task_scheduler.TaskScheduler`.

@@ -344,12 +344,14 @@ def test_error_counts_by_kind(task, states):
 def test_builder_runner_registries():
     assert "local" in registered_builders()
     assert "local" in registered_runners()
+    assert "rpc" in registered_builders()
+    assert "rpc" in registered_runners()
     assert resolve_builder("local") is LocalBuilder
     assert resolve_runner("local") is LocalRunner
     with pytest.raises(KeyError, match="registered builders"):
         resolve_builder("remote-farm")
     with pytest.raises(KeyError, match="registered runners"):
-        resolve_runner("rpc")
+        resolve_runner("remote-farm")
 
 
 def test_pipeline_from_options(task):
@@ -416,6 +418,86 @@ def test_pipeline_rejects_instance_plus_stage_knobs():
         intel_cpu(), builder=LocalBuilder(), fault_model=RandomFaults(run_error_prob=1.0)
     )
     assert isinstance(pipeline.runner.fault_model, RandomFaults)
+
+
+# ---------------------------------------------------------------------------
+# RandomFaults retry-counter bound
+# ---------------------------------------------------------------------------
+
+
+def test_transient_draw_tracking_is_bounded(task, states):
+    """The per-program retry-counter dict must not grow for the life of the
+    fault model: only the most recently drawn programs stay tracked."""
+    faults = RandomFaults(run_error_prob=0.5, seed=0, max_tracked_programs=3)
+    for state in states:  # 8 distinct programs > the bound
+        faults.run_fault(MeasureInput(task, state))
+    assert len(faults._transient_draws) == 3
+    # The survivors are the most recent programs, with their counters intact.
+    faults.run_fault(MeasureInput(task, states[-1]))
+    key = max(faults._transient_draws, key=faults._transient_draws.get)
+    assert faults._transient_draws[key] == 2
+
+
+def test_fault_model_reset_clears_counters(task, states):
+    faults = RandomFaults(run_error_prob=0.5, seed=0)
+    for state in states[:4]:
+        faults.run_fault(MeasureInput(task, state))
+    assert faults._transient_draws
+    faults.reset()
+    assert not faults._transient_draws
+
+
+def test_fault_model_validates_tracking_bound():
+    with pytest.raises(ValueError, match="max_tracked_programs"):
+        RandomFaults(run_error_prob=0.5, max_tracked_programs=0)
+
+
+# ---------------------------------------------------------------------------
+# Retry accounting (the backend-independent part; end-to-end retry semantics
+# live in tests/hardware/test_rpc.py)
+# ---------------------------------------------------------------------------
+
+
+def test_retry_attempts_charge_simulated_wall_clock(task):
+    """Each retry attempt is a full extra device occupation: a trial with
+    retry_count=k is charged (1+k) * measure_latency_sec."""
+    state = task.compute_dag.init_state()
+    pipeline = MeasurePipeline(
+        intel_cpu(),
+        fault_model=RandomFaults(run_error_prob=0.5, seed=3),
+        seed=0,
+        n_retry=4,
+        measure_latency_sec=2.0,
+    )
+    results = pipeline.measure([MeasureInput(task, state)])
+    retries = results[0].retry_count
+    assert retries > 0  # seed 3 faults this program's first attempt
+    assert results[0].valid
+    assert pipeline.retry_count == retries
+    assert pipeline.elapsed_sec == pytest.approx(2.0 * (1 + retries))
+
+
+def test_pipeline_validates_n_retry():
+    with pytest.raises(ValueError, match="n_retry"):
+        MeasurePipeline(intel_cpu(), n_retry=-1)
+
+
+def test_retry_counts_build_time_once(task):
+    """The build executed once; a retried trial's elapsed_sec must embed the
+    build cost once, not once per attempt."""
+    state = task.compute_dag.init_state()
+    build_latency = 0.05
+    pipeline = MeasurePipeline(
+        intel_cpu(),
+        builder=LocalBuilder(build_latency_sec=build_latency),
+        fault_model=RandomFaults(run_error_prob=0.5, seed=3),
+        n_retry=4,
+    )
+    result = pipeline.measure_one(MeasureInput(task, state))
+    assert result.valid and result.retry_count > 0
+    # Double-counting would push elapsed past (1 + retry_count) * latency.
+    assert result.elapsed_sec < build_latency * 1.5
+    assert result.elapsed_sec >= build_latency
 
 
 def test_from_options_rejects_runner_pinned_to_other_hardware():

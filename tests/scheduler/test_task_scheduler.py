@@ -233,6 +233,109 @@ def test_multi_dnn_objective_with_geomean():
     assert scheduler.objective_value() < 0  # a (negated) speedup
 
 
+# ---------------------------------------------------------------------------
+# Placeholder costs for unmeasured tasks (regression: objective_value used to
+# substitute 1.0 while dnn_latency substituted 0.0)
+# ---------------------------------------------------------------------------
+
+
+class EmptyPolicy(SearchPolicy):
+    """A policy whose search space is exhausted: it never produces candidates."""
+
+    def continue_search_one_round(self, num_measures, measurer):
+        return [], []
+
+
+def test_unmeasured_tasks_use_one_consistent_placeholder():
+    """Before any measurement, objective_value and dnn_latency must agree on
+    the placeholder: a pessimistic UNMEASURED_LATENCY_SEC per task, never a
+    0.0 that claims an untuned subgraph is free."""
+    from repro.scheduler.task_scheduler import UNMEASURED_LATENCY_SEC
+
+    tasks = _make_tasks()
+    scheduler = TaskScheduler(tasks, policy_factory=_fake_factory([0.1] * 3))
+    expected = len(tasks) * UNMEASURED_LATENCY_SEC
+    assert scheduler.objective_value() == pytest.approx(expected)
+    assert scheduler.dnn_latency(0) == pytest.approx(expected)
+
+
+def test_pre_warmup_tuning_curve_is_finite_and_decreasing():
+    """During warm-up some tasks are still unmeasured: every curve point must
+    be finite, bounded by the all-placeholder value, and improve as real
+    (sub-placeholder) measurements replace placeholders."""
+    from repro.scheduler.task_scheduler import UNMEASURED_LATENCY_SEC
+
+    tasks = _make_tasks()
+    factory = _fake_factory([0.1, 0.2, 0.3])
+    scheduler = TaskScheduler(tasks, policy_factory=factory, eps_greedy=0.0, seed=0)
+    # Budget for two of three warm-up rounds: one task stays unmeasured.
+    scheduler.tune(num_measure_trials=20, num_measures_per_round=10)
+    ceiling = len(tasks) * UNMEASURED_LATENCY_SEC
+    values = [r.objective_value for r in scheduler.records]
+    assert len(values) == 2
+    assert all(math.isfinite(v) for v in values)
+    assert all(v < ceiling for v in values)
+    assert values[1] < values[0]
+    # The partially tuned network reports the placeholder for the unmeasured
+    # task instead of pretending it costs nothing.
+    measured = [c for c in scheduler.best_costs if math.isfinite(c)]
+    assert len(measured) == 2
+    assert scheduler.dnn_latency(0) == pytest.approx(
+        sum(measured) + UNMEASURED_LATENCY_SEC
+    )
+
+
+# ---------------------------------------------------------------------------
+# Empty rounds exhaust a task (regression: a dead task used to be selectable
+# forever, burning the budget one phantom trial at a time)
+# ---------------------------------------------------------------------------
+
+
+def test_empty_rounds_exhaust_the_task():
+    tasks = _make_tasks()[:2]
+
+    def factory(task, cost_model, seed):
+        if not factory.created:
+            policy = EmptyPolicy(task, seed=seed)
+        else:
+            policy = FakePolicy(task, 0.1, seed=seed)
+        factory.created.append(policy)
+        return policy
+
+    factory.created = []
+    scheduler = TaskScheduler(tasks, policy_factory=factory, eps_greedy=0.0, seed=0)
+    best = scheduler.tune(num_measure_trials=40, num_measures_per_round=10)
+    # The dead task was retired after max_empty_rounds phantom trials...
+    assert scheduler.exhausted[0]
+    assert scheduler.empty_rounds[0] == scheduler.max_empty_rounds
+    # ...with its history unpolluted (no stale points from empty rounds)...
+    assert scheduler.latency_history[0] == []
+    assert not math.isfinite(best[0])
+    # ...and the remaining budget went to the live task instead of phantom
+    # trials: total budget minus one phantom per empty round.
+    live_trials = factory.created[1].num_trials
+    assert live_trials == 40 - scheduler.max_empty_rounds
+    assert scheduler.total_trials == 40
+
+
+def test_all_tasks_empty_ends_the_session():
+    tasks = _make_tasks()[:2]
+
+    def factory(task, cost_model, seed):
+        return EmptyPolicy(task, seed=seed)
+
+    scheduler = TaskScheduler(tasks, policy_factory=factory, eps_greedy=0.0, seed=0)
+    scheduler.tune(num_measure_trials=100, num_measures_per_round=10)
+    assert all(scheduler.exhausted)
+    # Bounded waste: at most max_empty_rounds phantom trials per task.
+    assert scheduler.total_trials <= len(tasks) * scheduler.max_empty_rounds
+
+
+def test_max_empty_rounds_validated():
+    with pytest.raises(ValueError, match="max_empty_rounds"):
+        TaskScheduler(_make_tasks(), max_empty_rounds=0)
+
+
 @pytest.mark.slow
 def test_real_policies_integration_small():
     """End-to-end with real SketchPolicies on tiny budgets."""

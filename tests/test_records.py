@@ -138,6 +138,44 @@ def test_error_kind_and_elapsed_round_trip(tmp_path, task, measured):
         assert rec.valid == res.valid
 
 
+def test_retry_count_round_trips(tmp_path, task, measured):
+    """A transient-fault session's retry counts survive the log round trip
+    (one line per trial, never one per attempt)."""
+    inputs, _ = measured
+    retried = MeasurePipeline(
+        task.hardware_params,
+        fault_model=RandomFaults(run_error_prob=0.6, seed=3),
+        seed=0,
+        n_retry=5,
+    )
+    results = retried.measure(inputs)
+    assert sum(r.retry_count for r in results) > 0
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    records = load_records(log)
+    assert len(records) == len(inputs)  # one line per trial, retries merged
+    for rec, res in zip(records, results):
+        assert rec.retry_count == res.retry_count
+
+
+def test_legacy_lines_without_retry_count_default_to_zero(tmp_path, task, measured):
+    inputs, _ = measured
+    line = {
+        "workload_key": task.workload_key,
+        "target": task.hardware_params.name,
+        "steps": inputs[0].state.serialize_steps(),
+        "costs": [0.5],
+        "error": None,
+        "error_no": 0,
+        "elapsed_sec": 0.1,
+        "timestamp": 1.0,
+    }
+    log = tmp_path / "legacy.json"
+    log.write_text(json.dumps(line) + "\n")
+    (record,) = load_records(log)
+    assert record.retry_count == 0
+
+
 def test_best_record_and_apply_history_best(tmp_path, task, measured):
     inputs, results = measured
     log = tmp_path / "tuning.json"

@@ -2,10 +2,12 @@
 #
 # Performance: `make throughput` runs the search-hot-path microbenchmark
 # (predicted states/sec), `make measure-throughput` the measurement-pipeline
-# benchmark (measured trials/sec: parallel builder vs the serial shim, plus
-# the rpc stage — process-pool vs thread-pool builds on CPU-bound compile
-# cost) — both write into BENCH_search_throughput.json — and `make profile`
-# runs a small evolution under cProfile (top-25 cumulative).
+# benchmark (measured trials/sec: parallel builder vs the serial shim, the
+# rpc stage — process-pool vs thread-pool builds on CPU-bound compile cost —
+# and the async-session stage: one-round-lookahead overlap vs the sync
+# breed|measure schedule, gated >= 1.3x when device latency dominates) —
+# all write into BENCH_search_throughput.json — and `make profile` runs a
+# small evolution under cProfile (top-25 cumulative).
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -30,8 +32,9 @@ bench:
 throughput:
 	$(PYTEST) -q -s benchmarks/test_search_throughput.py
 
-# Measurement-throughput baseline: parallel builder vs the serial shim, and
-# the rpc (process-pool) builder vs the thread-pool builder.
+# Measurement-throughput baseline: parallel builder vs the serial shim, the
+# rpc (process-pool) builder vs the thread-pool builder, and the async
+# session overlap vs the synchronous round schedule.
 measure-throughput:
 	$(PYTEST) -q -s benchmarks/test_measure_throughput.py
 
@@ -44,6 +47,6 @@ help:
 	@echo "make test-fast   - quick loop, skips tests marked slow"
 	@echo "make bench       - paper-figure benchmarks (slow)"
 	@echo "make throughput  - search states/sec baseline -> BENCH_search_throughput.json"
-	@echo "make measure-throughput - measured trials/sec: parallel vs serial + rpc vs thread builders"
+	@echo "make measure-throughput - measured trials/sec: parallel vs serial, rpc vs thread, async overlap vs sync"
 	@echo "make profile     - cProfile a small evolution run (top-25 cumulative)"
 	@echo "make install     - pip install -e ."

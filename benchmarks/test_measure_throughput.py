@@ -34,6 +34,21 @@ either pool, so the gate only bounds the process pool's dispatch overhead.
 Both pools are warmed (worker start-up and lowering caches) before timing,
 so the gate compares steady-state dispatch, the regime a tuning session
 lives in.
+
+A third stage gates the asynchronous session overlap (PR 5): the same
+round-structured workload — R rounds of C candidates, each round preceded
+by an emulated breeding cost and each run attempt charged a slept
+per-device ``measure_latency_sec`` — is driven through
+
+* **sync**: a synchronous ``MeasureSession`` per round (breed, submit,
+  drain — the searcher idles while the device runs, and vice versa),
+* **async**: one asynchronous session with ``SESSION_WORKERS`` workers and
+  one-round lookahead (breed round *k+1* while round *k* occupies the
+  devices), exactly the schedule the pipelined tuning drivers use.
+
+When device latency dominates, the async schedule must deliver at least
+``MIN_ASYNC_SPEEDUP`` (1.3x) the sync measured-trials/sec, with bit-level
+cost parity between the two paths.
 """
 
 import os
@@ -58,13 +73,21 @@ MIN_SPEEDUP = 2.0
 RPC_BUILD_CPU = 0.004  # emulated CPU-bound compile cost (seconds, burned)
 # True parallelism needs >1 core; a single-core host can only gate overhead.
 MIN_RPC_SPEEDUP = 1.0 if (os.cpu_count() or 1) > 1 else 0.6
+# Async-session stage: R rounds x C candidates, slept per-run device
+# latency (dominating) plus a per-round emulated breeding cost.
+SESSION_ROUNDS = 5
+SESSION_ROUND_SIZE = 8
+SESSION_LATENCY = 0.004  # slept per run attempt: the dominating device cost
+SESSION_BREED_SEC = 0.012  # emulated per-round candidate-generation cost
+SESSION_WORKERS = 4
+MIN_ASYNC_SPEEDUP = 1.3
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_search_throughput.json"
 
 
-def _make_inputs():
+def _make_inputs(count=N_CANDIDATES):
     task = SearchTask(matmul_relu(64, 64, 64), intel_cpu())
     rng = np.random.default_rng(0)
-    states = sample_initial_population(task, generate_sketches(task), N_CANDIDATES, rng)
+    states = sample_initial_population(task, generate_sketches(task), count, rng)
     return [MeasureInput(task, s) for s in states]
 
 
@@ -155,6 +178,64 @@ def run_rpc_throughput():
     return result
 
 
+def run_async_session_throughput():
+    """The async-overlap stage: one-round-lookahead pipelining through an
+    async MeasureSession vs the breed-submit-drain sync schedule, on a
+    workload whose slept per-run device latency dominates."""
+    inputs = _make_inputs(SESSION_ROUNDS * SESSION_ROUND_SIZE)
+    rounds = [
+        inputs[i * SESSION_ROUND_SIZE : (i + 1) * SESSION_ROUND_SIZE]
+        for i in range(SESSION_ROUNDS)
+    ]
+
+    sync_pipeline = MeasurePipeline(intel_cpu(), seed=0)
+    clear_lowering_cache()
+    sync_results = []
+    start = time.perf_counter()
+    with sync_pipeline.session(async_=False, measure_latency_sec=SESSION_LATENCY) as session:
+        for batch in rounds:
+            time.sleep(SESSION_BREED_SEC)  # the searcher breeding this round
+            session.submit(batch)
+            sync_results.extend(session.drain())  # devices run, searcher idles
+    sync_elapsed = time.perf_counter() - start
+
+    async_pipeline = MeasurePipeline(intel_cpu(), seed=0)
+    clear_lowering_cache()
+    async_results = []
+    start = time.perf_counter()
+    with async_pipeline.session(
+        async_=True, n_workers=SESSION_WORKERS, measure_latency_sec=SESSION_LATENCY
+    ) as session:
+        previous = None
+        for batch in rounds:
+            # breeding round k+1 overlaps round k's device occupancy
+            time.sleep(SESSION_BREED_SEC)
+            futures = session.submit(batch)
+            if previous is not None:
+                async_results.extend(f.result() for f in previous)
+            previous = futures
+        async_results.extend(f.result() for f in previous)
+    async_elapsed = time.perf_counter() - start
+
+    total = len(inputs)
+    parity = [r.costs for r in sync_results] == [r.costs for r in async_results]
+    result = {
+        "rounds": SESSION_ROUNDS,
+        "round_size": SESSION_ROUND_SIZE,
+        "measure_latency_sec": SESSION_LATENCY,
+        "breed_sec": SESSION_BREED_SEC,
+        "n_workers": SESSION_WORKERS,
+        "sync_seconds": sync_elapsed,
+        "async_seconds": async_elapsed,
+        "sync_trials_per_sec": total / sync_elapsed,
+        "async_trials_per_sec": total / async_elapsed,
+        "speedup": sync_elapsed / async_elapsed,
+        "parity": parity,
+    }
+    merge_benchmark_result(RESULT_PATH, {"async_measure_throughput": result})
+    return result
+
+
 # Marked slow to keep the load-sensitive timing assertion out of the quick
 # `-m "not slow"` gates; CI runs it once by explicit path (takes ~0.5 s).
 @pytest.mark.slow
@@ -190,6 +271,26 @@ def test_rpc_builder_vs_thread_builder():
     )
 
 
+@pytest.mark.slow
+def test_async_session_overlap_vs_sync():
+    result = run_async_session_throughput()
+    total = result["rounds"] * result["round_size"]
+    print("\n=== async measurement throughput: session overlap vs sync rounds ===")
+    print(f"workload                    : {result['rounds']} rounds x {result['round_size']} "
+          f"trials, {SESSION_LATENCY*1e3:.0f}ms device latency, "
+          f"{SESSION_BREED_SEC*1e3:.0f}ms breeding/round")
+    print(f"sync session (breed|measure): {result['sync_trials_per_sec']:.0f} trials/s")
+    print(f"async session (x{SESSION_WORKERS} workers) : {result['async_trials_per_sec']:.0f} trials/s")
+    print(f"speedup                     : {result['speedup']:.2f}x (gate >= {MIN_ASYNC_SPEEDUP}x)")
+    print(f"results merged into         : {RESULT_PATH.name}")
+    assert result["parity"], "async-session costs diverged from the sync path"
+    assert result["speedup"] >= MIN_ASYNC_SPEEDUP, (
+        f"async session overlap is only {result['speedup']:.2f}x the sync "
+        f"schedule on {total} trials (need >= {MIN_ASYNC_SPEEDUP}x)"
+    )
+
+
 if __name__ == "__main__":
     test_measure_throughput_parallel_vs_serial()
     test_rpc_builder_vs_thread_builder()
+    test_async_session_overlap_vs_sync()

@@ -47,6 +47,25 @@ tracked baseline is ``benchmarks/test_measure_throughput.py`` (measured
 trials/sec, merged into the same JSON); the no-fault path is bit-identical
 to the legacy serial measurer, enforced by
 ``tests/hardware/test_measure_pipeline.py``.
+
+Measurement can also be *asynchronous* — the overlap model the paper uses
+to hide device latency.  ``TuningOptions(async_measure=True)`` drives every
+round through a :class:`repro.hardware.measure.MeasureSession`
+(``submit()`` returning :class:`repro.hardware.measure.MeasureFuture`
+handles, ``as_completed()`` streaming outcomes in completion order): search
+policies expose their round as a ``propose_candidates(num)`` /
+``ingest_results(inputs, results)`` split, and the drivers
+(:meth:`repro.search.policy.SearchPolicy.tune`,
+:meth:`repro.scheduler.task_scheduler.TaskScheduler.tune`, :class:`Tuner`)
+breed round *k+1* while round *k* occupies the devices — at the price of a
+one-round-stale cost model.  Callbacks observe results as they land through
+the streaming ``on_result`` hook (``RecordToFile`` appends records the
+moment they complete; ``EarlyStopper(target_cost=...)`` can stop a session
+mid-round, cancelling the queued remainder).  The synchronous default is a
+submit-then-drain shim over the same sessions and stays bit-identical to
+the historical batch path; the async overlap is gated (>= 1.3x measured
+trials/sec when device latency dominates) by the same measurement
+benchmark.
 """
 
 from . import te
@@ -55,6 +74,7 @@ from .callbacks import (
     EarlyStopper,
     MeasureCallback,
     MeasureEvent,
+    MeasureResultEvent,
     ProgressLogger,
     RecordToFile,
     StopTuning,
@@ -65,9 +85,11 @@ from .hardware.measure import (
     LocalBuilder,
     LocalRunner,
     MeasureErrorNo,
+    MeasureFuture,
     MeasureInput,
     MeasurePipeline,
     MeasureResult,
+    MeasureSession,
     NoFaults,
     ProgramBuilder,
     ProgramRunner,
@@ -107,6 +129,7 @@ __all__ = [
     "auto_schedule_networks",
     "MeasureCallback",
     "MeasureEvent",
+    "MeasureResultEvent",
     "RecordToFile",
     "ProgressLogger",
     "EarlyStopper",
@@ -128,6 +151,8 @@ __all__ = [
     "CostSimulator",
     "ProgramMeasurer",
     "MeasurePipeline",
+    "MeasureSession",
+    "MeasureFuture",
     "MeasureErrorNo",
     "MeasureInput",
     "MeasureResult",

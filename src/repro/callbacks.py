@@ -9,15 +9,21 @@ record logging, progress printing and early stopping into each search policy
 
 * ``on_tuning_start(subject)`` / ``on_tuning_end(subject)`` once per tuning
   session (the subject is the driving ``SearchPolicy`` or ``TaskScheduler``),
+* ``on_result(event)`` as every single measurement lands — in completion
+  order when an asynchronous :class:`~repro.hardware.measure.MeasureSession`
+  streams results off the devices, and immediately before ``on_round`` on
+  the batch-synchronous path — with a :class:`MeasureResultEvent`,
 * ``on_round(event)`` after every measured batch, with a
   :class:`MeasureEvent` describing the batch and the policy's best-so-far,
 * ``on_scheduler_round(scheduler, record)`` after every task-scheduler
   allocation round.
 
 A callback stops the session by raising :class:`StopTuning` from
-``on_round``; all callbacks of the round still run (so a recorder ordered
-after an early stopper does not lose the final batch), then the driver
-unwinds.
+``on_round`` or ``on_result``; all callbacks of the round still run (so a
+recorder ordered after an early stopper does not lose the final batch),
+then the driver unwinds — an async driver cancels the queued remainder,
+waits out the running measurements, and ingests/records them before
+stopping, so no future leaks and nothing is counted twice.
 """
 
 from __future__ import annotations
@@ -37,11 +43,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 __all__ = [
     "StopTuning",
     "MeasureEvent",
+    "MeasureResultEvent",
     "MeasureCallback",
     "RecordToFile",
     "ProgressLogger",
     "EarlyStopper",
     "fire_round",
+    "fire_result",
+    "fire_round_events",
     "fire_scheduler_round",
 ]
 
@@ -71,11 +80,38 @@ class MeasureEvent:
     measurer: Optional["MeasurePipeline"] = None
 
 
+@dataclass
+class MeasureResultEvent:
+    """One measurement landing (streamed, not batched).
+
+    Async sessions fire one of these per candidate *in completion order*,
+    while the round is still in flight; the batch-synchronous path fires
+    them in submission order just before the round event.  A callback that
+    raises :class:`StopTuning` here stops the session mid-round (queued
+    work is cancelled, running work is drained and still observed).
+    """
+
+    #: the task the measurement belongs to
+    task: "SearchTask"
+    #: the policy that proposed the candidate
+    policy: "SearchPolicy"
+    #: the measured program
+    input: "MeasureInput"
+    #: its outcome
+    result: "MeasureResult"
+    #: the measurement pipeline that produced it, when available
+    measurer: Optional["MeasurePipeline"] = None
+
+
 class MeasureCallback:
     """Base class of measure callbacks; every hook defaults to a no-op."""
 
     def on_tuning_start(self, subject) -> None:
         """Called once when a tuning session begins."""
+
+    def on_result(self, event: MeasureResultEvent) -> None:
+        """Called as every single measurement lands (completion order on the
+        async path, submission order just before ``on_round`` otherwise)."""
 
     def on_round(self, event: MeasureEvent) -> None:
         """Called after every measured round of a search policy."""
@@ -108,6 +144,39 @@ def fire_round(callbacks: Sequence[MeasureCallback], event: MeasureEvent) -> Non
     _fire(callbacks, lambda cb: cb.on_round(event))
 
 
+def fire_result(callbacks: Sequence[MeasureCallback], event: MeasureResultEvent) -> None:
+    """Dispatch one streamed measurement to every callback."""
+    _fire(callbacks, lambda cb: cb.on_result(event))
+
+
+def fire_round_events(callbacks: Sequence[MeasureCallback], event: MeasureEvent) -> None:
+    """Dispatch a synchronous round: one ``on_result`` per measurement (in
+    submission order) followed by the ``on_round`` event.  Every callback
+    sees every event before the first :class:`StopTuning` is re-raised, so
+    the streaming and round-level views of the batch never diverge."""
+    stop: Optional[StopTuning] = None
+    for inp, res in zip(event.inputs, event.results):
+        try:
+            fire_result(
+                callbacks,
+                MeasureResultEvent(
+                    task=event.task,
+                    policy=event.policy,
+                    input=inp,
+                    result=res,
+                    measurer=event.measurer,
+                ),
+            )
+        except StopTuning as exc:
+            stop = stop or exc
+    try:
+        fire_round(callbacks, event)
+    except StopTuning as exc:
+        stop = stop or exc
+    if stop is not None:
+        raise stop
+
+
 def fire_scheduler_round(
     callbacks: Sequence[MeasureCallback], scheduler, record
 ) -> None:
@@ -121,37 +190,137 @@ class RecordToFile(MeasureCallback):
     Replaces the old ``auto_schedule(..., log_file=...)`` special case: the
     log can be replayed with :func:`repro.records.load_records` or deployed
     with :func:`repro.records.apply_history_best`.
+
+    Records stream: every measurement is appended from ``on_result`` the
+    moment it lands (async sessions deliver these in completion order, so a
+    killed session loses at most the in-flight candidates, not the round).
+    ``on_round`` writes only results that were never streamed — a driver
+    firing both hooks, as the tuning loops do, produces each record exactly
+    once, byte-identical to the historical per-round log.
     """
 
     def __init__(self, path, append: bool = True):
         self.path = path
         self.append = append
+        #: id() of results already written from on_result (cleared per round)
+        self._streamed: set = set()
+        #: file handle held open for the session so per-result streaming does
+        #: not pay an open/close per measurement in the tuning hot loop
+        self._handle = None
+
+    def _write(self, inputs, results) -> None:
+        if self._handle is not None:
+            from .records import TuningRecord  # local: avoid import cycle
+
+            for inp, res in zip(inputs, results):
+                self._handle.write(TuningRecord.from_measurement(inp, res).to_json() + "\n")
+            # Flushed per write: the durability point of streaming is that a
+            # killed session keeps everything that completed.
+            self._handle.flush()
+        else:
+            # Direct on_round/on_result use outside a session (external
+            # drivers, tests) falls back to open-per-batch.
+            save_records(self.path, inputs, results)
 
     def on_tuning_start(self, subject) -> None:
+        self._streamed.clear()
         if not self.append:
             open(self.path, "w").close()
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+
+    def on_result(self, event: MeasureResultEvent) -> None:
+        self._write([event.input], [event.result])
+        self._streamed.add(id(event.result))
 
     def on_round(self, event: MeasureEvent) -> None:
-        save_records(self.path, event.inputs, event.results)
+        pending = [
+            (inp, res)
+            for inp, res in zip(event.inputs, event.results)
+            if id(res) not in self._streamed
+        ]
+        if pending:
+            self._write([p[0] for p in pending], [p[1] for p in pending])
+        # The round closes the stream-dedup window; dropping the entries
+        # keeps the set O(round) and avoids stale id() collisions.
+        for res in event.results:
+            self._streamed.discard(id(res))
+
+    def on_tuning_end(self, subject) -> None:
+        self._streamed.clear()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 class ProgressLogger(MeasureCallback):
     """Print a one-line progress summary after every round.
 
     Replaces the scattered ``verbose`` prints of the search policies and the
-    task scheduler.
+    task scheduler.  At session end, every device-pool runner seen during
+    the session (an :class:`~repro.hardware.rpc.RpcRunner`, or anything else
+    exposing ``device_stats()``) gets a per-device summary — trials, faults
+    and busy-time share — so a flaky or starved board is visible straight
+    from the progress log instead of needing a debugger.
     """
 
-    def __init__(self, stream: Optional[TextIO] = None, log_scheduler_rounds: bool = True):
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        log_scheduler_rounds: bool = True,
+        log_device_stats: bool = True,
+    ):
         self.stream = stream
         self.log_scheduler_rounds = log_scheduler_rounds
+        self.log_device_stats = log_device_stats
+        #: measurers observed through events this session (id -> measurer)
+        self._measurers: Dict[int, object] = {}
 
     def _print(self, message: str) -> None:
         print(message, file=self.stream if self.stream is not None else sys.stdout)
 
+    def _track_measurer(self, measurer) -> None:
+        if measurer is not None:
+            self._measurers[id(measurer)] = measurer
+
+    def on_tuning_start(self, subject) -> None:
+        self._measurers.clear()
+
+    def on_result(self, event: MeasureResultEvent) -> None:
+        self._track_measurer(event.measurer)
+
+    def on_tuning_end(self, subject) -> None:
+        if not self.log_device_stats:
+            return
+        # The scheduler exposes its pipelines directly; policies surface
+        # theirs through the round/result events tracked above.
+        for measurer in getattr(subject, "measurers", None) or ():
+            self._track_measurer(measurer)
+        for measurer in self._measurers.values():
+            runner = getattr(measurer, "runner", None)
+            stats_fn = getattr(runner, "device_stats", None)
+            if stats_fn is None:
+                continue
+            stats = stats_fn()
+            if not stats:
+                continue
+            total_busy = sum(entry.get("busy_sec", 0.0) for entry in stats.values())
+            self._print(f"[{type(runner).__name__}] device stats:")
+            for name in sorted(stats):
+                entry = stats[name]
+                share = (
+                    100.0 * entry.get("busy_sec", 0.0) / total_busy if total_busy > 0 else 0.0
+                )
+                self._print(
+                    f"  {name}: runs={int(entry.get('runs', 0))} "
+                    f"errors={int(entry.get('errors', 0))} "
+                    f"busy={entry.get('busy_sec', 0.0):.3e}s ({share:.0f}%)"
+                )
+
     def on_round(self, event: MeasureEvent) -> None:
         from .hardware.measure import MeasureErrorNo  # local: avoid import cycle
 
+        self._track_measurer(event.measurer)
         line = (
             f"[{type(event.policy).__name__}] task={event.task.desc!r} "
             f"trials={event.num_trials} best={event.best_cost:.3e}s"
@@ -191,15 +360,35 @@ class EarlyStopper(MeasureCallback):
     policy, so identical workloads never share a counter), which lets one
     instance be shared by a multi-task scheduler session: the task scheduler
     treats the stop as "this task is exhausted" and keeps tuning the others.
+
+    ``target_cost`` adds a streaming stop: the session ends the moment any
+    measurement reaches that cost (seconds), *mid-round*, instead of waiting
+    for the round to close — on an async session the queued remainder is
+    cancelled and the running measurements are drained, so a
+    good-enough-by-construction search stops paying for device time it no
+    longer needs.
     """
 
-    def __init__(self, patience: int, min_trials: int = 0):
+    def __init__(self, patience: int, min_trials: int = 0, target_cost: Optional[float] = None):
         if patience <= 0:
             raise ValueError("EarlyStopper patience must be positive")
+        if target_cost is not None and target_cost <= 0:
+            raise ValueError("target_cost must be positive (or None to disable)")
         self.patience = patience
         self.min_trials = min_trials
+        self.target_cost = target_cost
         #: policy id -> (best cost seen, rounds since it improved)
         self._tracker: Dict[int, Tuple[float, int]] = {}
+
+    def on_result(self, event: MeasureResultEvent) -> None:
+        if self.target_cost is None:
+            return
+        result = event.result
+        if result.valid and result.min_cost <= self.target_cost:
+            raise StopTuning(
+                f"target cost {self.target_cost:.3e}s reached on "
+                f"{event.task.desc!r} ({result.min_cost:.3e}s)"
+            )
 
     def on_tuning_start(self, subject) -> None:
         # Fresh session, fresh counters: a stopper reused across sessions

@@ -11,7 +11,10 @@ Layout:
   timeouts), :class:`ProgramRunner` stages time them on the simulator with
   injectable :class:`FaultModel` failures, and every outcome carries a
   :class:`MeasureErrorNo` error kind.  :class:`MeasurePipeline` is the
-  facade consumers drive.
+  facade consumers drive — batch-synchronously through ``measure()`` or as
+  a stream through :class:`MeasureSession` (``submit()`` /
+  ``as_completed()`` / :class:`MeasureFuture`), which is how the tuning
+  loops overlap candidate generation with device time.
 * :mod:`~repro.hardware.rpc` — the remote measurement backend:
   :class:`RpcBuilder` compiles in a process pool (true parallelism for
   CPU-bound lowering) and :class:`RpcRunner` dispatches runs to a pool of
@@ -28,9 +31,11 @@ from .measure import (
     LocalBuilder,
     LocalRunner,
     MeasureErrorNo,
+    MeasureFuture,
     MeasureInput,
     MeasurePipeline,
     MeasureResult,
+    MeasureSession,
     NoFaults,
     ProgramBuilder,
     ProgramRunner,
@@ -73,6 +78,8 @@ __all__ = [
     "RpcBuilder",
     "RpcRunner",
     "MeasurePipeline",
+    "MeasureSession",
+    "MeasureFuture",
     "ProgramMeasurer",
     "register_builder",
     "registered_builders",

@@ -91,17 +91,49 @@ Builders and runners are selectable through string-keyed registries
 (:func:`register_builder` / :func:`register_runner`), the same pattern the
 search policies use, so :class:`~repro.tuner.Tuner` can pick them from
 :class:`~repro.task.TuningOptions` knobs without hard-coding classes.
+
+Asynchronous sessions — overlapping search with measurement
+-----------------------------------------------------------
+The paper's auto-scheduler hides device latency by overlapping candidate
+generation with hardware measurement; :class:`MeasureSession` is the API
+that makes the same overlap possible here.  A session is opened over a
+pipeline (``pipeline.session(async_=True)``), accepts work through
+:meth:`MeasureSession.submit` (returning one :class:`MeasureFuture` per
+candidate), streams outcomes in completion order through
+:meth:`MeasureSession.as_completed`, and is swept with
+:meth:`MeasureSession.drain` / closed with :meth:`MeasureSession.close`
+(context-manager semantics do the latter automatically)::
+
+    with pipeline.session(async_=True) as session:
+        futures = session.submit(inputs)          # devices start immediately
+        next_batch = policy.propose_candidates(n)  # breeds while they run
+        for fut in session.as_completed(futures):
+            observe(fut.input, fut.result())
+
+In async mode a small worker pool drives the builder and runner stages
+concurrently (builds go through :meth:`ProgramBuilder.build_one_dispatch`,
+which the rpc builder routes into its process pool); in sync mode
+(``async_=False``) the session is a thin veneer over the classic batch
+path, and :meth:`MeasurePipeline.measure` itself is now exactly that — a
+submit-then-drain shim whose results are bit-identical to the historical
+batch-synchronous behaviour.  Every executed candidate is accounted exactly
+once (under a pipeline-level lock), cancelled futures never run and are
+never counted, and per-program determinism (hash-seeded noise, per-program
+fault draws) makes single-device async results identical to sync results
+regardless of interleaving.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
+import threading
 import time
-from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict, deque
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -125,6 +157,8 @@ __all__ = [
     "ProgramRunner",
     "LocalRunner",
     "MeasurePipeline",
+    "MeasureFuture",
+    "MeasureSession",
     "register_builder",
     "registered_builders",
     "resolve_builder",
@@ -451,6 +485,18 @@ class ProgramBuilder:
     def build(self, inputs: Sequence[MeasureInput]) -> List[BuildResult]:
         raise NotImplementedError
 
+    def build_one_dispatch(self, inp: MeasureInput) -> BuildResult:
+        """Build a single candidate on behalf of a session worker.
+
+        Async :class:`MeasureSession` workers call this concurrently from
+        several threads, so it must be thread-safe.  The default routes
+        through :meth:`build` (preserving each builder's timeout handling);
+        pool-backed builders override it to dispatch the single candidate
+        into their own worker pool (see
+        :meth:`repro.hardware.rpc.RpcBuilder.build_one_dispatch`).
+        """
+        return self.build([inp])[0]
+
 
 @register_builder("local")
 class LocalBuilder(ProgramBuilder):
@@ -689,6 +735,360 @@ class LocalRunner(ProgramRunner):
 
 
 # ---------------------------------------------------------------------------
+# Asynchronous measurement sessions
+# ---------------------------------------------------------------------------
+
+
+class MeasureFuture:
+    """A handle to one in-flight measurement submitted to a :class:`MeasureSession`.
+
+    ``input`` is the submitted :class:`MeasureInput`; :meth:`result` blocks
+    until the measurement lands (raising
+    :class:`concurrent.futures.CancelledError` if it was cancelled before it
+    started).  :meth:`cancel` succeeds only while the work is still queued —
+    a running or finished measurement cannot be recalled, matching the
+    :mod:`concurrent.futures` contract.
+    """
+
+    _PENDING = "pending"
+    _RUNNING = "running"
+    _DONE = "done"
+    _CANCELLED = "cancelled"
+
+    __slots__ = ("input", "_session", "_state", "_result", "_exception", "_seq", "_collected")
+
+    def __init__(self, inp: MeasureInput, session: "MeasureSession"):
+        self.input = inp
+        self._session = session
+        self._state = MeasureFuture._PENDING
+        self._result: Optional[MeasureResult] = None
+        self._exception: Optional[BaseException] = None
+        #: completion sequence number (orders as_completed yields)
+        self._seq = -1
+        #: whether drain()/as_completed() already handed this future out
+        self._collected = False
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """True once the measurement finished or was cancelled."""
+        with self._session._lock:
+            return self._state in (MeasureFuture._DONE, MeasureFuture._CANCELLED)
+
+    def cancelled(self) -> bool:
+        with self._session._lock:
+            return self._state == MeasureFuture._CANCELLED
+
+    def running(self) -> bool:
+        with self._session._lock:
+            return self._state == MeasureFuture._RUNNING
+
+    def cancel(self) -> bool:
+        """Cancel the measurement if it has not started; returns whether the
+        future is cancelled afterwards (idempotent)."""
+        return self._session._cancel_future(self)
+
+    def result(self, timeout: Optional[float] = None) -> MeasureResult:
+        """Block until the measurement lands and return its
+        :class:`MeasureResult` (re-raising a worker-side crash, or
+        :class:`concurrent.futures.CancelledError` for cancelled work)."""
+        self._session._wait_future(self, timeout)
+        if self._state == MeasureFuture._CANCELLED:
+            raise CancelledError(f"measurement of {self.input!r} was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+
+class MeasureSession:
+    """An open measurement stream over one :class:`MeasurePipeline`.
+
+    ``submit(inputs)`` enqueues candidates and returns one
+    :class:`MeasureFuture` each; ``as_completed()`` yields futures in
+    completion order as devices finish; ``drain()`` blocks until everything
+    in flight has landed and returns the not-yet-collected results in
+    submission order; ``close()`` cancels queued work, waits out running
+    work, and shuts the workers down (``with pipeline.session(...) as s:``
+    does this automatically).
+
+    Two modes share the API:
+
+    * ``async_=False`` — the synchronous veneer: submitted work is measured
+      lazily (on ``drain()`` / ``as_completed()`` / ``result()``) as one
+      batch through the classic pipeline path, so results are bit-identical
+      to the historical ``measure()`` behaviour.  ``MeasurePipeline.measure``
+      is exactly this submit-then-drain shim.
+    * ``async_=True`` — ``n_workers`` threads consume the queue
+      concurrently: builds overlap (through
+      :meth:`ProgramBuilder.build_one_dispatch`, which pool-backed builders
+      route into their own pools), the run stage and all pipeline accounting
+      execute under the pipeline's measurement lock (exactly once per
+      executed candidate), and completions stream out as they land.
+
+    ``measure_latency_sec`` emulates the *wall-clock* cost of occupying a
+    real device for one run attempt (it is actually slept: serially in sync
+    mode, overlapped across workers in async mode).  It is the wall-clock
+    analogue of :attr:`MeasurePipeline.measure_latency_sec`, which only
+    advances the simulated-clock accounting; the default 0.0 keeps the sync
+    shim time-identical to the classic batch path.  This knob is what the
+    async-overlap benchmark (``benchmarks/test_measure_throughput.py``)
+    turns to make device latency dominate.
+
+    A session is not re-entrant across pipelines, and two sessions over the
+    same pipeline must not run concurrently with direct ``measure()`` calls
+    from other threads except through the pipeline lock they share.
+    """
+
+    def __init__(
+        self,
+        pipeline: "MeasurePipeline",
+        async_: bool = False,
+        n_workers: Optional[int] = None,
+        measure_latency_sec: float = 0.0,
+    ):
+        if measure_latency_sec < 0:
+            raise ValueError("measure_latency_sec must be >= 0")
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1 (or None for the default)")
+        self.pipeline = pipeline
+        self.async_mode = bool(async_)
+        self.measure_latency_sec = measure_latency_sec
+        self.n_workers = n_workers if n_workers is not None else pipeline._default_session_workers()
+        self._lock = threading.Lock()
+        self._queue_cond = threading.Condition(self._lock)
+        self._done_cond = threading.Condition(self._lock)
+        self._queue: "deque[MeasureFuture]" = deque()
+        self._futures: List[MeasureFuture] = []
+        self._inflight = 0
+        self._seq = itertools.count()
+        self._closed = False
+        self._workers: List[threading.Thread] = []
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "MeasureSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, inputs: Sequence[MeasureInput]) -> List[MeasureFuture]:
+        """Enqueue a batch of candidates; returns one future per input, in
+        submission order.  Async sessions start measuring immediately."""
+        inputs = list(inputs)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MeasureSession is closed")
+            # Compact the collected prefix so a long-lived session (one per
+            # tuning run) holds O(in-flight) futures, not O(total trials).
+            self._futures = [f for f in self._futures if not f._collected]
+            futures = [MeasureFuture(inp, self) for inp in inputs]
+            self._futures.extend(futures)
+            self._queue.extend(futures)
+            if self.async_mode and futures:
+                self._ensure_workers()
+                self._queue_cond.notify_all()
+        return futures
+
+    # -- consumption -----------------------------------------------------
+    def as_completed(
+        self,
+        futures: Optional[Iterable[MeasureFuture]] = None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[MeasureFuture]:
+        """Yield futures as their measurements land, in completion order.
+
+        Restricted to ``futures`` when given, otherwise to every submitted
+        future not yet collected by ``as_completed``/``drain``.  Cancelled
+        futures are yielded too (check :meth:`MeasureFuture.cancelled`), so
+        callers always see every handle back.  ``timeout`` bounds each wait
+        for the *next* completion; exceeding it raises :class:`TimeoutError`.
+        """
+        if not self.async_mode:
+            self._process_pending()
+        with self._lock:
+            if futures is None:
+                remaining = [f for f in self._futures if not f._collected]
+            else:
+                remaining = list(futures)
+        while remaining:
+            # The timeout bounds the wait for the *next* yield of this set;
+            # completions of unrelated futures wake the condition but must
+            # not restart the clock.
+            deadline = None if timeout is None else time.monotonic() + timeout
+            with self._done_cond:
+                while True:
+                    ready = [
+                        f for f in remaining
+                        if f._state in (MeasureFuture._DONE, MeasureFuture._CANCELLED)
+                    ]
+                    if ready:
+                        break
+                    wait_for = None if deadline is None else deadline - time.monotonic()
+                    if wait_for is not None and wait_for <= 0:
+                        raise TimeoutError(
+                            f"no measurement completed within {timeout}s "
+                            f"({len(remaining)} still in flight)"
+                        )
+                    self._done_cond.wait(wait_for)
+                ready.sort(key=lambda f: f._seq)
+                for f in ready:
+                    remaining.remove(f)
+            for f in ready:  # yield outside the lock
+                # Collected only once actually handed out: if the consumer
+                # abandons the generator mid-batch (a worker crash re-raised
+                # by result(), a callback exception), the not-yet-yielded
+                # futures stay sweepable by drain()/a later as_completed().
+                with self._lock:
+                    f._collected = True
+                yield f
+
+    def drain(self) -> List[MeasureResult]:
+        """Block until nothing is queued or in flight, then return the
+        results of every not-yet-collected future, in submission order
+        (cancelled futures are swept but excluded from the results).
+
+        A worker-side crash re-raises here — and marks only *that* future
+        collected, so the successfully measured remainder is still
+        retrievable by draining again."""
+        if not self.async_mode:
+            self._process_pending()
+        with self._done_cond:
+            while self._queue or self._inflight:
+                self._done_cond.wait()
+            out = [f for f in self._futures if not f._collected]
+            for f in out:
+                if f._exception is not None:
+                    f._collected = True
+                    raise f._exception
+            for f in out:
+                f._collected = True
+        return [
+            f._result for f in out if f._state != MeasureFuture._CANCELLED
+        ]
+
+    def cancel_pending(self) -> int:
+        """Cancel every queued-but-unstarted future; returns how many were
+        cancelled.  Running measurements always complete (and are accounted)."""
+        with self._lock:
+            count = 0
+            while self._queue:
+                fut = self._queue.pop()
+                fut._state = MeasureFuture._CANCELLED
+                fut._seq = next(self._seq)
+                count += 1
+            if count:
+                self._done_cond.notify_all()
+            return count
+
+    def close(self) -> None:
+        """Cancel queued work, wait out running work, stop the workers.
+
+        Idempotent.  After ``close()`` the session rejects new submissions;
+        cancelled futures report ``cancelled()`` and were never accounted.
+        """
+        self.cancel_pending()
+        with self._lock:
+            self._closed = True
+            self._queue_cond.notify_all()
+        for worker in self._workers:
+            worker.join()
+        self._workers = []
+
+    # -- internals -------------------------------------------------------
+    def _cancel_future(self, fut: MeasureFuture) -> bool:
+        with self._lock:
+            if fut._state == MeasureFuture._CANCELLED:
+                return True
+            if fut._state != MeasureFuture._PENDING:
+                return False
+            try:
+                self._queue.remove(fut)
+            except ValueError:
+                return False
+            fut._state = MeasureFuture._CANCELLED
+            fut._seq = next(self._seq)
+            self._done_cond.notify_all()
+            return True
+
+    def _wait_future(self, fut: MeasureFuture, timeout: Optional[float]) -> None:
+        if not self.async_mode:
+            self._process_pending()
+        # Monotonic deadline: the condition wakes on EVERY completion and
+        # cancellation, and those of other futures must not restart the clock.
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._done_cond:
+            while fut._state not in (MeasureFuture._DONE, MeasureFuture._CANCELLED):
+                wait_for = None if deadline is None else deadline - time.monotonic()
+                if wait_for is not None and wait_for <= 0:
+                    raise TimeoutError(f"measurement of {fut.input!r} did not complete in {timeout}s")
+                self._done_cond.wait(wait_for)
+
+    def _process_pending(self) -> None:
+        """Sync mode: measure everything queued as ONE batch through the
+        classic pipeline path (bit-identical to the historical behaviour:
+        the whole batch builds through the builder's own thread pool, runs
+        in submission order, retries, then accounts)."""
+        with self._lock:
+            batch = list(self._queue)
+            self._queue.clear()
+        if not batch:
+            return
+        results = self.pipeline._measure_batch([f.input for f in batch])
+        if self.measure_latency_sec > 0:
+            # The emulated device is serial in sync mode: every run attempt
+            # occupies it back to back.
+            attempts = sum(1 + res.retry_count for res in results)
+            time.sleep(self.measure_latency_sec * attempts)
+        with self._lock:
+            for fut, res in zip(batch, results):
+                fut._result = res
+                fut._state = MeasureFuture._DONE
+                fut._seq = next(self._seq)
+            self._done_cond.notify_all()
+
+    def _ensure_workers(self) -> None:
+        # called with the lock held
+        while len(self._workers) < self.n_workers:
+            worker = threading.Thread(
+                target=self._worker,
+                name=f"MeasureSession-worker-{len(self._workers)}",
+                daemon=True,
+            )
+            self._workers.append(worker)
+            worker.start()
+
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._queue_cond.wait()
+                if not self._queue:  # closed, queue drained
+                    return
+                fut = self._queue.popleft()
+                fut._state = MeasureFuture._RUNNING
+                self._inflight += 1
+            result: Optional[MeasureResult] = None
+            exception: Optional[BaseException] = None
+            try:
+                result = self.pipeline._measure_streamed(fut.input)
+            except BaseException as exc:  # surfaced through fut.result()
+                exception = exc
+            if result is not None and self.measure_latency_sec > 0:
+                # Device occupancy: every attempt (initial + retries) held
+                # the board for the emulated latency.  Slept outside any
+                # lock so workers genuinely overlap device time.
+                time.sleep(self.measure_latency_sec * (1 + result.retry_count))
+            with self._lock:
+                self._inflight -= 1
+                fut._result = result
+                fut._exception = exception
+                fut._state = MeasureFuture._DONE
+                fut._seq = next(self._seq)
+                self._done_cond.notify_all()
+
+
+# ---------------------------------------------------------------------------
 # The pipeline facade
 # ---------------------------------------------------------------------------
 
@@ -718,6 +1118,7 @@ class MeasurePipeline:
         measure_latency_sec: float = 0.0,
         fault_model: Optional[FaultModel] = None,
         n_retry: int = 0,
+        async_measure: bool = False,
     ):
         if n_retry < 0:
             raise ValueError("n_retry must be >= 0")
@@ -762,6 +1163,13 @@ class MeasurePipeline:
         #: how many times a RUN_ERROR (transient device fault) is re-run
         #: before the trial is given up (0 = the old fail-fast behaviour)
         self.n_retry = n_retry
+        #: default mode for sessions opened via :meth:`session` — True means
+        #: drivers (Tuner / SearchPolicy.tune / TaskScheduler.tune) overlap
+        #: candidate generation with measurement through an async session
+        self.async_measure = async_measure
+        #: serializes the run stage and all counter/best-state accounting
+        #: across session workers and direct measure() calls
+        self._measure_lock = threading.Lock()
         #: optional simulated wall-clock cost per measurement (for search-time accounting)
         self.measure_latency_sec = measure_latency_sec
         #: total number of measurement trials performed
@@ -775,7 +1183,9 @@ class MeasurePipeline:
         #: simulated wall-clock time spent measuring (charged per trial,
         #: including failed builds: errors waste machine time too)
         self.elapsed_sec = 0.0
-        #: actual wall-clock the pipeline spent building + running
+        #: actual wall-clock the pipeline spent building + running (per-batch
+        #: elapsed on the sync path; cumulative per-candidate stage busy time
+        #: on the async path, where overlapped stages sum across workers)
         self.wall_sec = 0.0
         #: best cost (seconds) seen per workload key
         self.best_cost: Dict[str, float] = {}
@@ -851,7 +1261,13 @@ class MeasurePipeline:
                     f"session needs a pipeline for {hardware.name!r}; drop the "
                     "runner instance or supply a matching measurer explicitly"
                 )
-        return cls(hardware, builder=builder, runner=runner, n_retry=options.n_retry)
+        return cls(
+            hardware,
+            builder=builder,
+            runner=runner,
+            n_retry=options.n_retry,
+            async_measure=options.async_measure,
+        )
 
     # -- compat accessors (the old ProgramMeasurer surface) ---------------
     @property
@@ -874,21 +1290,93 @@ class MeasurePipeline:
     def seed(self) -> int:
         return self.runner.seed
 
+    # -- sessions --------------------------------------------------------
+    def session(
+        self,
+        async_: Optional[bool] = None,
+        n_workers: Optional[int] = None,
+        measure_latency_sec: float = 0.0,
+    ) -> MeasureSession:
+        """Open a :class:`MeasureSession` over this pipeline.
+
+        ``async_=None`` follows the pipeline's :attr:`async_measure` default
+        (threaded from ``TuningOptions.async_measure``); see
+        :class:`MeasureSession` for the other knobs.
+        """
+        if async_ is None:
+            async_ = self.async_measure
+        return MeasureSession(
+            self,
+            async_=async_,
+            n_workers=n_workers,
+            measure_latency_sec=measure_latency_sec,
+        )
+
+    def _default_session_workers(self) -> int:
+        """Worker count for async sessions: enough to keep the builder pool
+        and every device of a device-pool runner busy, capped sanely."""
+        devices = getattr(self.runner, "devices", ()) or ()
+        return min(16, max(2, getattr(self.builder, "n_parallel", 1), len(devices)))
+
     # ------------------------------------------------------------------
     def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResult]:
         """Measure a batch of programs: build all (possibly in parallel),
         run all, retry transient run faults up to ``n_retry`` times, update
-        counters and per-workload bests."""
+        counters and per-workload bests.
+
+        This is now a thin submit-then-drain shim over a synchronous
+        :class:`MeasureSession`; the results (costs, errors, retries,
+        counters, best states) are bit-identical to the historical
+        batch-synchronous path, which the parity tests enforce.
+        """
+        if not inputs:
+            return []
+        with self.session(async_=False) as session:
+            session.submit(inputs)
+            return session.drain()
+
+    def _measure_batch(self, inputs: Sequence[MeasureInput]) -> List[MeasureResult]:
+        """The classic batch path (one builder pass, one run pass, retries,
+        accounting) — the unit of work of a synchronous session."""
         if not inputs:
             return []
         start = time.perf_counter()
         build_results = self.builder.build(inputs)
-        results = self.runner.run(inputs, build_results)
-        self._retry_transient(inputs, build_results, results)
-        self.wall_sec += time.perf_counter() - start
-        for inp, res in zip(inputs, results):
-            self._account(inp, res)
+        with self._measure_lock:
+            results = self.runner.run(inputs, build_results)
+            self._retry_transient(inputs, build_results, results)
+            self.wall_sec += time.perf_counter() - start
+            for inp, res in zip(inputs, results):
+                self._account(inp, res)
         return results
+
+    def _measure_streamed(self, inp: MeasureInput) -> MeasureResult:
+        """Measure one candidate on behalf of an async session worker.
+
+        The build runs outside the pipeline lock (overlapping with other
+        workers; pool-backed builders dispatch into their own pools via
+        :meth:`ProgramBuilder.build_one_dispatch`); the run stage, retries
+        and accounting run under the lock so stateful fault models, device
+        dispatch and counters are updated exactly once per candidate.
+
+        ``wall_sec`` is charged the candidate's own build + run busy time,
+        *excluding* the wait for the pipeline lock — workers queueing on the
+        lock must not multiply-charge each other's run time.  Busy time of
+        concurrent builds still sums across workers, so on the async path
+        ``wall_sec`` reads as cumulative stage time rather than elapsed
+        session time.
+        """
+        build_start = time.perf_counter()
+        build = self.builder.build_one_dispatch(inp)
+        build_elapsed = time.perf_counter() - build_start
+        with self._measure_lock:
+            run_start = time.perf_counter()
+            results = self.runner.run([inp], [build])
+            self._retry_transient([inp], [build], results)
+            result = results[0]
+            self.wall_sec += build_elapsed + (time.perf_counter() - run_start)
+            self._account(inp, result)
+        return result
 
     def _retry_transient(
         self,

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -390,18 +391,27 @@ class RpcBuilder(LocalBuilder):
             fault_model=fault_model,
         )
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Async MeasureSession workers dispatch single builds concurrently;
+        # pool creation/teardown must be race-free across those threads.
+        self._pool_lock = threading.Lock()
 
-    # The builder itself is pickled to the workers; the pool handle must not
-    # travel with it.
+    # The builder itself is pickled to the workers; the pool handle (and its
+    # lock, which is unpicklable) must not travel with it.
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_pool"] = None
+        state["_pool_lock"] = None
         return state
 
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._pool_lock = threading.Lock()
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.n_parallel)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.n_parallel)
+            return self._pool
 
     def build(self, inputs: Sequence[MeasureInput]) -> List[BuildResult]:
         if not inputs:
@@ -420,11 +430,31 @@ class RpcBuilder(LocalBuilder):
                 results = [self.build_one(inp) for inp in inputs]
         return [self._apply_timeout(result) for result in results]
 
+    def build_one_dispatch(self, inp: MeasureInput) -> BuildResult:
+        """Build one candidate in the process pool on behalf of an async
+        :class:`~repro.hardware.measure.MeasureSession` worker.
+
+        Several session workers call this concurrently, each blocking on its
+        own pool future while the worker processes compile in true parallel
+        — the pool becomes a genuinely concurrent consumer of the session
+        queue instead of a per-batch barrier.  A broken pool falls back to
+        an in-process build, like :meth:`build`.
+        """
+        if self.n_parallel <= 1:
+            return self._apply_timeout(self.build_one(inp))
+        try:
+            result = self._ensure_pool().submit(_build_in_worker, self, inp).result()
+        except Exception:
+            self.close()
+            result = self.build_one(inp)
+        return self._apply_timeout(result)
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent; a later batch restarts it)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:

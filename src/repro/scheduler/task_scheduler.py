@@ -26,13 +26,16 @@ import numpy as np
 
 from ..callbacks import (
     MeasureCallback,
+    MeasureResultEvent,
     ProgressLogger,
     StopTuning,
+    fire_result,
     fire_round,
+    fire_round_events,
     fire_scheduler_round,
 )
 from ..cost_model.model import CostModel, LearnedCostModel
-from ..hardware.measure import MeasurePipeline
+from ..hardware.measure import MeasureInput, MeasurePipeline, MeasureSession
 from ..hardware.platform import HardwareParams
 from ..ir.state import State
 from ..search.policy import SearchPolicy
@@ -186,15 +189,25 @@ class TaskScheduler:
         gradient = df_dg * (self.alpha * backward + (1 - self.alpha) * forward)
         return min(gradient, 0.0)
 
-    def _select_task(self) -> Optional[int]:
+    def _select_task(self, pending_alloc: Optional[Sequence[int]] = None) -> Optional[int]:
+        """Pick the next task to allocate a round to.
+
+        ``pending_alloc`` counts rounds already proposed but not yet
+        accounted (the async driver's in-flight lookahead), so warm-up and
+        round-robin do not re-pick a task whose first round is still on the
+        devices."""
+        if pending_alloc is None:
+            alloc = self.allocations
+        else:
+            alloc = [a + p for a, p in zip(self.allocations, pending_alloc)]
         live = [i for i, done in enumerate(self.exhausted) if not done]
         if not live:
             return None
         if self.strategy == "round_robin":
-            return min(live, key=lambda i: self.allocations[i])
+            return min(live, key=lambda i: alloc[i])
         # Warm-up: allocate one round to every task first.
         for i in live:
-            if self.allocations[i] == 0:
+            if alloc[i] == 0:
                 return i
         if self.rng.random() < self.eps_greedy:
             return live[int(self.rng.integers(0, len(live)))]
@@ -274,6 +287,7 @@ class TaskScheduler:
         measurer: Optional[MeasurePipeline] = None,
         callbacks: Sequence[MeasureCallback] = (),
         measurer_factory: Optional[Callable[..., MeasurePipeline]] = None,
+        async_measure: bool = False,
     ) -> List[float]:
         """Distribute ``num_measure_trials`` over the tasks; returns the final
         best latency per task.
@@ -291,73 +305,253 @@ class TaskScheduler:
         exhausted: the scheduler stops allocating to it but keeps tuning the
         remaining tasks (an :class:`~repro.callbacks.EarlyStopper` tracks
         improvement per task, so sharing one instance works as expected).
+
+        ``async_measure`` (or pipelines built with ``async_measure=True``)
+        switches to the pipelined driver when every policy implements the
+        propose/ingest split: while the selected round runs on its devices,
+        the scheduler speculatively selects the next task (on the current,
+        one-round-stale allocation state) and breeds its round, so devices
+        and the searcher stay busy simultaneously.  A task early-stopped by
+        a callback may therefore have one already-in-flight lookahead round,
+        which is still measured and ingested (the device time is spent
+        either way) before the task stops receiving allocations.
         """
         self.measurers = self._make_measurers(measurer, measurer_factory)
         active = list(callbacks)
         if self.verbose and not any(isinstance(cb, ProgressLogger) for cb in active):
             active.append(ProgressLogger())
+        use_async = (
+            async_measure or any(getattr(m, "async_measure", False) for m in self.measurers)
+        ) and all(policy.supports_pipelining for policy in self.policies)
         for cb in active:
             cb.on_tuning_start(self)
         try:
-            while self.total_trials < num_measure_trials:
-                index = self._select_task()
-                if index is None:  # every task early-stopped
-                    break
-                policy = self.policies[index]
-                task_measurer = self.measurers[index]
-                budget = min(num_measures_per_round, num_measure_trials - self.total_trials)
-                # Two-argument call: pre-0.2.0 policies (no callbacks
-                # parameter) keep working; events fire here at the loop level.
-                inputs, results = policy.continue_search_one_round(budget, task_measurer)
-                consumed = len(inputs)
-                stopped = False
-                if active and inputs:
-                    try:
-                        fire_round(active, policy._make_event(inputs, results, task_measurer))
-                    except StopTuning:
-                        stopped = True
-                if consumed == 0:
-                    # The policy produced no candidates.  Charge one phantom
-                    # trial so the loop provably terminates, but track the
-                    # dry spell: a task that is repeatedly empty (its space
-                    # enumerated or fully deduplicated) is exhausted and must
-                    # stop being selected — it used to be re-selectable
-                    # forever, burning the remaining budget one phantom trial
-                    # at a time while appending stale points to its latency
-                    # history.  Empty rounds leave the history untouched.
+            if use_async:
+                self._tune_pipelined(num_measure_trials, num_measures_per_round, active)
+            else:
+                self._tune_rounds(num_measure_trials, num_measures_per_round, active)
+        finally:
+            for cb in active:
+                cb.on_tuning_end(self)
+        return list(self.best_costs)
+
+    def _tune_rounds(
+        self,
+        num_measure_trials: int,
+        num_measures_per_round: int,
+        active: List[MeasureCallback],
+    ) -> None:
+        """The batch-synchronous allocation loop (the historical behaviour)."""
+        while self.total_trials < num_measure_trials:
+            index = self._select_task()
+            if index is None:  # every task early-stopped
+                break
+            policy = self.policies[index]
+            task_measurer = self.measurers[index]
+            budget = min(num_measures_per_round, num_measure_trials - self.total_trials)
+            # Two-argument call: pre-0.2.0 policies (no callbacks
+            # parameter) keep working; events fire here at the loop level.
+            inputs, results = policy.continue_search_one_round(budget, task_measurer)
+            consumed = len(inputs)
+            stopped = False
+            if active and inputs:
+                try:
+                    fire_round_events(active, policy._make_event(inputs, results, task_measurer))
+                except StopTuning:
+                    stopped = True
+            if consumed == 0:
+                # The policy produced no candidates.  Charge one phantom
+                # trial so the loop provably terminates, but track the
+                # dry spell: a task that is repeatedly empty (its space
+                # enumerated or fully deduplicated) is exhausted and must
+                # stop being selected — it used to be re-selectable
+                # forever, burning the remaining budget one phantom trial
+                # at a time while appending stale points to its latency
+                # history.  Empty rounds leave the history untouched.
+                self.total_trials += 1
+                self.allocations[index] += 1
+                self.empty_rounds[index] += 1
+                if self.empty_rounds[index] >= self.max_empty_rounds:
+                    self.exhausted[index] = True
+                continue
+            self.empty_rounds[index] = 0
+            if stopped:
+                self.exhausted[index] = True
+            self.total_trials += consumed
+            self.allocations[index] += 1
+            self.best_costs[index] = policy.best_cost
+            self.latency_history[index].append(policy.best_cost)
+            if isinstance(self.objective, EarlyStoppingLatency):
+                self.objective.observe(index, policy.best_cost)
+            record = TaskSchedulerRecord(
+                total_trials=self.total_trials,
+                objective_value=self.objective_value(),
+                best_costs=list(self.best_costs),
+                selected_task=index,
+            )
+            self.records.append(record)
+            try:
+                if active:
+                    fire_scheduler_round(active, self, record)
+            except StopTuning:
+                # A scheduler-level stop (e.g. a global budget callback)
+                # ends the whole session, not just one task.
+                break
+
+    # -- the pipelined (async) driver ------------------------------------
+    def _tune_pipelined(
+        self,
+        num_measure_trials: int,
+        num_measures_per_round: int,
+        active: List[MeasureCallback],
+    ) -> None:
+        """One-round-lookahead allocation over async measurement sessions.
+
+        One :class:`~repro.hardware.measure.MeasureSession` is opened per
+        distinct pipeline (tasks sharing hardware share a session).  While
+        the current round occupies its devices, the next task is selected —
+        against allocation state that includes the in-flight round, so
+        warm-up still visits every task exactly once — and its round is
+        bred and submitted.  Gradient-based selection therefore runs one
+        round staler than the synchronous driver, the documented price of
+        the overlap.  All accounting (trials, allocations, histories,
+        records) happens at ingest time, in round-completion order, exactly
+        as in the synchronous loop.
+        """
+        sessions: Dict[int, MeasureSession] = {}
+        pending_alloc = [0] * len(self.tasks)
+        submitted = 0  # trials in flight: proposed but not yet accounted
+
+        def _session_for(index: int) -> MeasureSession:
+            pipeline = self.measurers[index]
+            session = sessions.get(id(pipeline))
+            if session is None:
+                session = pipeline.session(async_=True)
+                sessions[id(pipeline)] = session
+            return session
+
+        def _propose():
+            """Select a task and submit one bred round for it; handles the
+            empty-proposal accounting inline.  None = budget exhausted or no
+            live task."""
+            nonlocal submitted
+            while True:
+                budget = min(
+                    num_measures_per_round,
+                    num_measure_trials - self.total_trials - submitted,
+                )
+                if budget <= 0:
+                    return None
+                index = self._select_task(pending_alloc)
+                if index is None:
+                    return None
+                states = self.policies[index].propose_candidates(budget)
+                if not states:
+                    # Same phantom-trial accounting as the synchronous loop:
+                    # guarantees termination and exhausts repeatedly-dry tasks.
                     self.total_trials += 1
                     self.allocations[index] += 1
                     self.empty_rounds[index] += 1
                     if self.empty_rounds[index] >= self.max_empty_rounds:
                         self.exhausted[index] = True
                     continue
-                self.empty_rounds[index] = 0
-                if stopped:
+                inputs = [MeasureInput(self.tasks[index], state) for state in states]
+                futures = _session_for(index).submit(inputs)
+                submitted += len(inputs)
+                pending_alloc[index] += 1
+                return (index, inputs, futures)
+
+        def _finish(round_, suppress_stop: bool = False) -> bool:
+            """Stream one in-flight round to completion, ingest and account
+            it; returns True on a scheduler-level stop."""
+            nonlocal submitted
+            index, inputs, futures = round_
+            policy = self.policies[index]
+            task_measurer = self.measurers[index]
+            session = _session_for(index)
+            stop_task = False
+            kept_inputs: List[MeasureInput] = []
+            results = []
+            for fut in session.as_completed(futures):
+                if fut.cancelled():
+                    continue
+                res = fut.result()
+                kept_inputs.append(fut.input)
+                results.append(res)
+                if active:
+                    try:
+                        fire_result(
+                            active,
+                            MeasureResultEvent(
+                                task=self.tasks[index],
+                                policy=policy,
+                                input=fut.input,
+                                result=res,
+                                measurer=task_measurer,
+                            ),
+                        )
+                    except StopTuning:
+                        if not stop_task:
+                            stop_task = True
+                            # Mid-round stop: recall this round's queued
+                            # remainder; running work completes and is kept.
+                            for pending in futures:
+                                pending.cancel()
+            pending_alloc[index] -= 1
+            submitted -= len(inputs)
+            if not kept_inputs:
+                # Everything was cancelled before reaching a device: the
+                # round never happened, so nothing is charged.
+                if stop_task:
                     self.exhausted[index] = True
-                self.total_trials += consumed
-                self.allocations[index] += 1
-                self.best_costs[index] = policy.best_cost
-                self.latency_history[index].append(policy.best_cost)
-                if isinstance(self.objective, EarlyStoppingLatency):
-                    self.objective.observe(index, policy.best_cost)
-                record = TaskSchedulerRecord(
-                    total_trials=self.total_trials,
-                    objective_value=self.objective_value(),
-                    best_costs=list(self.best_costs),
-                    selected_task=index,
-                )
-                self.records.append(record)
+                return False
+            policy.ingest_results(kept_inputs, results)
+            if active:
                 try:
-                    if active:
-                        fire_scheduler_round(active, self, record)
+                    fire_round(active, policy._make_event(kept_inputs, results, task_measurer))
                 except StopTuning:
-                    # A scheduler-level stop (e.g. a global budget callback)
-                    # ends the whole session, not just one task.
+                    stop_task = True
+            consumed = len(kept_inputs)
+            self.total_trials += consumed
+            self.allocations[index] += 1
+            self.empty_rounds[index] = 0
+            self.best_costs[index] = policy.best_cost
+            self.latency_history[index].append(policy.best_cost)
+            if isinstance(self.objective, EarlyStoppingLatency):
+                self.objective.observe(index, policy.best_cost)
+            if stop_task:
+                self.exhausted[index] = True
+            record = TaskSchedulerRecord(
+                total_trials=self.total_trials,
+                objective_value=self.objective_value(),
+                best_costs=list(self.best_costs),
+                selected_task=index,
+            )
+            self.records.append(record)
+            try:
+                if active:
+                    fire_scheduler_round(active, self, record)
+            except StopTuning:
+                return not suppress_stop
+            return False
+
+        try:
+            current = _propose()
+            while current is not None:
+                # Breed the lookahead round while the current one measures.
+                upcoming = _propose()
+                if _finish(current):
+                    # Scheduler-level stop: the lookahead round is already
+                    # in flight — recall what never started, keep the rest.
+                    if upcoming is not None:
+                        for fut in upcoming[2]:
+                            fut.cancel()
+                        _finish(upcoming, suppress_stop=True)
                     break
+                current = upcoming if upcoming is not None else _propose()
         finally:
-            for cb in active:
-                cb.on_tuning_end(self)
-        return list(self.best_costs)
+            for session in sessions.values():
+                session.close()
 
     # ------------------------------------------------------------------
     def _finite_costs(self) -> List[float]:

@@ -20,7 +20,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..callbacks import MeasureCallback
 from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
 from ..hardware.measure import MeasureInput, MeasurePipeline, MeasureResult
 from ..hardware.platform import HardwareParams
@@ -177,12 +176,13 @@ class BeamSearchPolicy(SearchPolicy):
         return self._prune(completed) if completed else completed
 
     # ------------------------------------------------------------------
-    def continue_search_one_round(
-        self,
-        num_measures: int,
-        measurer: MeasurePipeline,
-        callbacks: Sequence[MeasureCallback] = (),
-    ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
+    def propose_candidates(self, num_measures: int) -> List[State]:
+        """Sequentially construct and prune a batch of complete programs.
+
+        Picked programs are marked measured at propose time so a pipelined
+        driver breeding the next round mid-measurement never proposes an
+        in-flight program twice.
+        """
         candidates = self._construct_candidates()
         picked: List[State] = []
         seen = set()
@@ -194,15 +194,17 @@ class BeamSearchPolicy(SearchPolicy):
             picked.append(state)
             if len(picked) >= num_measures:
                 break
-        if not picked:
-            return [], []
-        inputs = [MeasureInput(self.task, state) for state in picked]
-        results = measurer.measure(inputs)
+        for state in picked:
+            self._measured_keys.add(repr(state.serialize_steps()))
+        return picked
+
+    def ingest_results(
+        self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]
+    ) -> None:
         for inp in inputs:
             self._measured_keys.add(repr(inp.state.serialize_steps()))
         self.cost_model.update(inputs, results)
-        self._record_results(inputs, results, callbacks, measurer)
-        return inputs, results
+        super().ingest_results(inputs, results)
 
 
 # ---------------------------------------------------------------------------

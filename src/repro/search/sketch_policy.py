@@ -10,6 +10,13 @@ This is the main loop described in §3–§5 of the paper.  Each round:
 4. pick the most promising (and a few random, ε-greedy) candidates,
 5. measure them on the hardware, and
 6. re-train the cost model with the new measurements.
+
+Steps 1–4 are :meth:`SketchPolicy.propose_candidates` and step 6 is
+:meth:`SketchPolicy.ingest_results`; the measurement in between belongs to
+the driver, which either composes the halves batch-synchronously (the
+inherited ``continue_search_one_round``) or pipelines them through an async
+:class:`~repro.hardware.measure.MeasureSession` so breeding round *k+1*
+overlaps measuring round *k*.
 """
 
 from __future__ import annotations
@@ -18,9 +25,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..callbacks import MeasureCallback
 from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
-from ..hardware.measure import MeasureInput, MeasurePipeline, MeasureResult
+from ..hardware.measure import MeasureInput, MeasureResult
 from ..ir.state import State
 from ..task import SearchTask
 from .annotation import sample_initial_population
@@ -122,15 +128,16 @@ class SketchPolicy(SearchPolicy):
         return picked[:num_measures]
 
     # ------------------------------------------------------------------
-    def continue_search_one_round(
-        self,
-        num_measures: int,
-        measurer: MeasurePipeline,
-        callbacks: Sequence[MeasureCallback] = (),
-    ) -> Tuple[List[MeasureInput], List[MeasureResult]]:
+    def propose_candidates(self, num_measures: int) -> List[State]:
+        """One search half-round: sample, evolve, pick ε-greedily.
+
+        Picked programs are marked measured immediately — an async driver
+        breeds round *k+1* before round *k*'s results are ingested, and the
+        in-flight programs must not be proposed twice.
+        """
         population = self._initial_population()
         if not population:
-            return [], []
+            return []
 
         if self.use_evolutionary_search:
             evolution = EvolutionarySearch(
@@ -148,13 +155,15 @@ class SketchPolicy(SearchPolicy):
             self.rng.shuffle(ranked)
 
         candidates = self._pick_candidates(ranked, population, num_measures)
-        if not candidates:
-            return [], []
+        for state in candidates:
+            self._measured_keys.add(_state_key(state))
+        return candidates
 
-        inputs = [MeasureInput(self.task, state) for state in candidates]
-        results = measurer.measure(inputs)
-
-        # Book-keeping: best programs, measured-set, cost model update.
+    def ingest_results(
+        self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]
+    ) -> None:
+        """The learning half-round: elite pool, cost-model update, then the
+        shared book-keeping (trials, best state, history)."""
         for inp, res in zip(inputs, results):
             self._measured_keys.add(_state_key(inp.state))
             if res.valid:
@@ -163,5 +172,4 @@ class SketchPolicy(SearchPolicy):
         self._best_measured = self._best_measured[: self.retained_best * 4]
 
         self.cost_model.update(inputs, results)
-        self._record_results(inputs, results, callbacks, measurer)
-        return inputs, results
+        super().ingest_results(inputs, results)

@@ -89,6 +89,13 @@ class TuningOptions:
     #: int (that many default devices); None = the runner's single default
     #: device.  Rejected when the selected runner is device-blind.
     devices: "Optional[Union[int, Sequence[DeviceLike]]]" = None
+    #: overlap candidate generation with hardware measurement: drivers run
+    #: each round through an asynchronous
+    #: :class:`~repro.hardware.measure.MeasureSession` and breed round *k+1*
+    #: while round *k* occupies the devices (one-round-stale cost model).
+    #: The default False preserves the batch-synchronous behaviour (and its
+    #: tuning logs) bit for bit.
+    async_measure: bool = False
 
     def __post_init__(self) -> None:
         if self.num_measure_trials <= 0:

@@ -32,7 +32,7 @@ Every session returns a structured :class:`TuningResult`::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -51,6 +51,30 @@ __all__ = ["Tuner", "TuningResult"]
 
 #: anything :class:`Tuner` accepts as its ``policy`` argument
 PolicyLike = Union[str, SearchPolicy, PolicyFactory]
+
+#: the TuningOptions knobs consumed by MeasurePipeline.from_options — the
+#: ones a caller-supplied measurer would silently swallow
+_MEASURE_PIPELINE_KNOBS = (
+    "builder",
+    "runner",
+    "n_parallel",
+    "build_timeout",
+    "run_timeout",
+    "n_retry",
+    "devices",
+)
+
+
+def _non_default_measure_knobs(options: TuningOptions) -> List[str]:
+    """The measurement-pipeline knobs of ``options`` that differ from the
+    :class:`~repro.task.TuningOptions` defaults (``async_measure`` is not
+    one of them: sessions honor it even over a supplied measurer)."""
+    defaults = {f.name: f.default for f in fields(TuningOptions)}
+    return [
+        name
+        for name in _MEASURE_PIPELINE_KNOBS
+        if getattr(options, name) != defaults[name]
+    ]
 
 
 @dataclass
@@ -125,6 +149,10 @@ class Tuner:
         runner="rpc", n_parallel=8, n_retry=2, devices=[...])`` drives the
         whole session through the process-pool builder and the device-pool
         runner of :mod:`repro.hardware.rpc` with no other changes.
+        Combining a ready measurer with non-default measurement knobs in the
+        options raises (the measurer would silently swallow them);
+        ``options.async_measure`` is the exception — it selects the session
+        mode and is honored either way.
     hardware / batch / max_tasks_per_network / objective / scheduler_strategy:
         Network-session knobs, forwarded to the task extractor and the
         :class:`~repro.scheduler.task_scheduler.TaskScheduler`.
@@ -150,6 +178,19 @@ class Tuner:
         self.options = options or TuningOptions()
         self.callbacks = list(callbacks or [])
         self.policy_kwargs = dict(policy_kwargs or {})
+        if measurer is not None:
+            # A ready measurer and options that ask for a differently
+            # configured pipeline cannot both win; matching the pipeline's
+            # own "no silent averaging" convention, the conflict raises
+            # instead of silently ignoring the options' knobs.
+            conflicting = _non_default_measure_knobs(self.options)
+            if conflicting:
+                raise ValueError(
+                    "Tuner got both a ready measurer= and TuningOptions "
+                    f"measurement knob(s) {conflicting}: the supplied measurer "
+                    "would silently ignore them.  Configure the measurer "
+                    "directly, or drop measurer= and let the options build one."
+                )
         self.measurer = measurer
         self.hardware = hardware
         self.batch = batch
@@ -284,6 +325,7 @@ class Tuner:
             measurer=measurer,
             callbacks=callbacks,
             measurer_factory=lambda hw: MeasurePipeline.from_options(hw, options),
+            async_measure=options.async_measure,
         )
         return TuningResult(
             tasks=list(tasks),

@@ -333,15 +333,16 @@ def test_retry_lands_on_another_device(inputs):
 
 
 def test_retry_session_through_tuner(task):
-    """n_retry threads through TuningOptions into a full session: with the
-    fault model injected via a ready runner, tuning completes its budget and
-    reports retries in the pipeline counters."""
-    options = TuningOptions(num_measure_trials=16, num_measures_per_round=8, n_retry=3, seed=0)
+    """A ready retrying pipeline drives a full session: tuning completes its
+    budget and reports retries in the pipeline counters.  (The retry knob
+    lives on the measurer alone — duplicating it in TuningOptions alongside
+    measurer= now raises, see test_tuner.py.)"""
+    options = TuningOptions(num_measure_trials=16, num_measures_per_round=8, seed=0)
     measurer = MeasurePipeline(
         intel_cpu(),
         fault_model=RandomFaults(run_error_prob=0.4, seed=5),
         seed=0,
-        n_retry=options.n_retry,
+        n_retry=3,
     )
     result = Tuner(task, policy="random", options=options, measurer=measurer).tune()
     assert result.num_trials == 16

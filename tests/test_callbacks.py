@@ -9,6 +9,7 @@ from repro import (
     MeasureCallback,
     MeasureEvent,
     ProgressLogger,
+    RecordToFile,
     SearchTask,
     StopTuning,
     TuningOptions,
@@ -247,3 +248,124 @@ def test_policy_tune_injects_early_stopper_from_options(task):
                               early_stopping=1),
                 ProgramMeasurer(task.hardware_params, seed=0))
     assert policy.num_trials < 96
+
+
+# ---------------------------------------------------------------------------
+# Streaming on_result events
+# ---------------------------------------------------------------------------
+
+
+def test_sync_rounds_fire_on_result_before_on_round(task, measurer):
+    order = []
+
+    class Watcher(MeasureCallback):
+        def on_result(self, event):
+            order.append(("result", id(event.result)))
+
+        def on_round(self, event):
+            order.append(("round", [id(r) for r in event.results]))
+
+    policy = SketchPolicy(task, seed=0)
+    policy.tune(TuningOptions(num_measure_trials=8, num_measures_per_round=8),
+                measurer, [Watcher()])
+    kinds = [kind for kind, _ in order]
+    assert kinds == ["result"] * 8 + ["round"]
+    # the streamed results are exactly the round's results, in order
+    streamed = [payload for kind, payload in order if kind == "result"]
+    assert streamed == order[-1][1]
+
+
+def test_record_to_file_streams_without_duplicates(tmp_path, task, measurer):
+    """RecordToFile appends from on_result; the round sweep must not write
+    the same results again (byte-identical to the historical per-round log)."""
+    from repro import Tuner
+    from repro.records import load_records
+
+    log = tmp_path / "stream.json"
+    Tuner(task, options=TuningOptions(num_measure_trials=16, num_measures_per_round=8),
+          callbacks=[RecordToFile(log)]).tune()
+    records = load_records(log, strict=True)
+    assert len(records) == 16
+
+
+def test_record_to_file_on_round_alone_still_writes(tmp_path, task):
+    """Direct on_round use (external drivers, old tests) keeps working: with
+    no streamed results the round writes everything."""
+    from repro.hardware import MeasureInput, MeasurePipeline
+    from repro.records import load_records
+    from repro.search import generate_sketches, sample_initial_population
+    import numpy as np
+
+    pipeline = MeasurePipeline(task.hardware_params, seed=0)
+    states = sample_initial_population(
+        task, generate_sketches(task), 4, np.random.default_rng(0))
+    inputs = [MeasureInput(task, s) for s in states]
+    results = pipeline.measure(inputs)
+    policy = SketchPolicy(task)
+    log = tmp_path / "round.json"
+    cb = RecordToFile(log)
+    event = _event(task, policy, 4, 1.0)
+    event.inputs, event.results = inputs, results
+    cb.on_round(event)
+    assert len(load_records(log, strict=True)) == 4
+
+
+def test_early_stopper_target_cost_stops_mid_session(task):
+    from repro.hardware import MeasurePipeline
+
+    policy = SketchPolicy(task, seed=0)
+    measurer = MeasurePipeline(task.hardware_params, seed=0)
+    stopper = EarlyStopper(patience=100, target_cost=1.0)  # any valid result hits 1s
+    policy.tune(TuningOptions(num_measure_trials=64, num_measures_per_round=8),
+                measurer, [stopper])
+    assert policy.num_trials == 8  # first round reached the target
+
+
+def test_early_stopper_target_cost_validation():
+    with pytest.raises(ValueError):
+        EarlyStopper(patience=1, target_cost=0.0)
+
+
+def test_progress_logger_prints_device_stats_at_session_end(task):
+    """Satellite: the per-device runs/errors/busy breakdown of an rpc runner
+    is printed when the session ends."""
+    from repro.hardware import MeasurePipeline, RpcRunner
+
+    stream = io.StringIO()
+    runner = RpcRunner(task.hardware_params, devices=["board0", "board1"], seed=0)
+    measurer = MeasurePipeline(task.hardware_params, runner=runner, seed=0)
+    policy = SketchPolicy(task, seed=0)
+    policy.tune(TuningOptions(num_measure_trials=8, num_measures_per_round=8),
+                measurer, [ProgressLogger(stream=stream)])
+    out = stream.getvalue()
+    assert "device stats" in out
+    assert "board0" in out and "board1" in out
+    assert "runs=" in out and "errors=" in out and "busy=" in out
+
+
+def test_progress_logger_device_stats_from_scheduler_measurers(intel_hardware):
+    from repro.hardware import MeasurePipeline, RpcRunner
+
+    stream = io.StringIO()
+    tasks = [SearchTask(make_matmul_relu_dag(64, 64, 64), intel_hardware, desc="a")]
+    runner = RpcRunner(intel_hardware, devices=2, seed=0)
+    measurer = MeasurePipeline(intel_hardware, runner=runner, seed=0)
+    scheduler = TaskScheduler(tasks, seed=0)
+    scheduler.tune(8, num_measures_per_round=8, measurer=measurer,
+                   callbacks=[ProgressLogger(stream=stream, log_scheduler_rounds=False)])
+    out = stream.getvalue()
+    assert "device stats" in out
+    assert "dev0" in out and "dev1" in out
+
+
+def test_progress_logger_device_stats_can_be_disabled(task):
+    from repro.hardware import MeasurePipeline, RpcRunner
+
+    stream = io.StringIO()
+    runner = RpcRunner(task.hardware_params, devices=2, seed=0)
+    measurer = MeasurePipeline(task.hardware_params, runner=runner, seed=0)
+    policy = SketchPolicy(task, seed=0)
+    policy.tune(TuningOptions(num_measure_trials=8, num_measures_per_round=8),
+                measurer,
+                [ProgressLogger(stream=stream, log_device_stats=False)])
+    assert "device stats" not in stream.getvalue()

@@ -219,3 +219,33 @@ def test_invalid_measurement_recorded_as_error(tmp_path, task):
     records = load_records(log)
     assert not records[0].valid
     assert records[0].best_cost == float("inf")
+
+
+def test_retry_and_error_no_round_trip_strict(tmp_path, task, measured):
+    """Satellite regression: retry_count and error_no of a fault-heavy
+    session survive the log round trip byte-faithfully under strict=True
+    (no line falls back to the lenient skip path)."""
+    inputs, _ = measured
+    pipeline = MeasurePipeline(
+        task.hardware_params,
+        fault_model=RandomFaults(run_error_prob=0.7, run_timeout_prob=0.1, seed=9),
+        seed=0,
+        n_retry=2,
+    )
+    results = pipeline.measure(inputs)
+    assert sum(r.retry_count for r in results) > 0
+    assert any(not r.valid for r in results)  # some faults survive the retries
+    log = tmp_path / "tuning.json"
+    save_records(log, inputs, results)
+    records = load_records(log, strict=True)
+    assert len(records) == len(inputs)
+    for rec, res in zip(records, results):
+        assert rec.retry_count == res.retry_count
+        assert rec.error_no == int(res.error_no)
+        assert rec.error_kind == res.error_kind
+        assert rec.valid == res.valid
+    # and a second generation (re-serialize the parsed records) is stable
+    second = [TuningRecord.from_json(r.to_json()) for r in records]
+    assert [(r.retry_count, r.error_no, r.costs) for r in second] == [
+        (r.retry_count, r.error_no, r.costs) for r in records
+    ]

@@ -293,3 +293,49 @@ def test_tuning_options_validation():
         TuningOptions(num_measures_per_round=-1)
     with pytest.raises(ValueError):
         TuningOptions(early_stopping=0)
+
+
+# ---------------------------------------------------------------------------
+# measurer= vs TuningOptions measurement knobs (the "no silent averaging"
+# convention)
+# ---------------------------------------------------------------------------
+
+
+def test_measurer_with_conflicting_options_knobs_raises(task):
+    """A ready measurer would silently swallow the options' builder/runner
+    knobs; the conflict must raise instead."""
+    from repro.hardware import MeasurePipeline
+
+    measurer = MeasurePipeline(intel_cpu(), seed=0)
+    for knobs in (
+        {"builder": "rpc"},
+        {"runner": "rpc"},
+        {"n_parallel": 4},
+        {"build_timeout": 1.0},
+        {"run_timeout": 1.0},
+        {"n_retry": 2},
+        {"devices": 2},
+    ):
+        with pytest.raises(ValueError, match="measurement knob"):
+            Tuner(task, measurer=measurer, options=TuningOptions(**knobs))
+
+
+def test_measurer_with_default_options_still_accepted(task):
+    from repro.hardware import MeasurePipeline
+
+    measurer = MeasurePipeline(intel_cpu(), seed=0)
+    result = Tuner(task, measurer=measurer, options=SMALL).tune()
+    assert result.num_trials == 16
+
+
+def test_async_measure_is_not_a_conflicting_knob(task):
+    """async_measure selects the session mode and is honored even with a
+    supplied measurer, so it must not trip the conflict check."""
+    from repro.hardware import MeasurePipeline
+
+    measurer = MeasurePipeline(intel_cpu(), seed=0)
+    options = TuningOptions(num_measure_trials=16, num_measures_per_round=8,
+                            async_measure=True)
+    result = Tuner(task, measurer=measurer, options=options).tune()
+    assert result.num_trials == 16
+    assert measurer.measure_count == 16

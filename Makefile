@@ -11,7 +11,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench throughput measure-throughput profile install help
+.PHONY: test test-fast bench throughput measure-throughput store-bench profile install help
 
 install:
 	pip install -e .
@@ -38,6 +38,12 @@ throughput:
 measure-throughput:
 	$(PYTEST) -q -s benchmarks/test_measure_throughput.py
 
+# Schedule-store baseline: indexed lookup vs full-log rescan (>= 100x) and
+# store-seeded warm-start vs cold search (median <= 0.5x trials to the cold
+# best over a seed panel).
+store-bench:
+	$(PYTEST) -q -s benchmarks/test_store_lookup.py
+
 # Profile the search hot path: a small evolution run under cProfile.
 profile:
 	PYTHONPATH=src python benchmarks/profile_search.py
@@ -48,5 +54,6 @@ help:
 	@echo "make bench       - paper-figure benchmarks (slow)"
 	@echo "make throughput  - search states/sec baseline -> BENCH_search_throughput.json"
 	@echo "make measure-throughput - measured trials/sec: parallel vs serial, rpc vs thread, async overlap vs sync"
+	@echo "make store-bench - schedule store: indexed lookup vs log rescan, warm-start vs cold search"
 	@echo "make profile     - cProfile a small evolution run (top-25 cumulative)"
 	@echo "make install     - pip install -e ."

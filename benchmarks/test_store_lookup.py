@@ -1,0 +1,249 @@
+"""Schedule-store microbenchmark: indexed lookup and warm-start transfer.
+
+PR 6 turned the line-per-trial tuning log into an indexed
+:class:`~repro.store.ScheduleStore`.  This benchmark gates the two claims
+that justify the layer:
+
+* **lookup** — answering "what is the best schedule for this (workload,
+  target)?" from the store's in-memory index must be at least
+  ``MIN_LOOKUP_SPEEDUP`` (100x) faster than the legacy path, a full
+  re-parse of the tuning log through
+  :func:`~repro.records.best_record` — while returning the *same* record.
+  The log holds ``N_WORKLOADS x N_RECORDS_PER`` lines, the shape of a real
+  multi-workload tuning session; the rescan pays O(log) per question, the
+  store pays O(1) after one load.
+
+* **warm-start** — a session on a *new* workload (same DAG structure as
+  stored donors, scaled sizes) seeded from the store must reach the best
+  cost a cold session finds with ``TRIALS`` measurements using at most
+  ``MAX_WARM_TRIALS_FRACTION`` (0.5x) of those trials.  Search outcomes
+  are seed-dependent (a cold session can get lucky), so the gate holds on
+  the *median* over a ``SEEDS`` panel of paired cold/warm sessions —
+  deterministic (every session is seeded) but not hostage to one draw.
+  The mechanism under test: the replayed donor bests are pinned to the
+  front of the warm session's first measured batch.
+
+Results merge into ``BENCH_search_throughput.json`` next to the search- and
+measurement-throughput numbers (``make store-bench`` runs just this file).
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ScheduleStore, SearchTask, Tuner, TuningOptions
+from repro.hardware import intel_cpu
+from repro.records import TuningRecord, best_record, load_records
+from repro.search import generate_sketches, sample_initial_population
+from repro.workloads import matmul_relu
+
+from harness import merge_benchmark_result
+
+# -- lookup stage -----------------------------------------------------------
+N_WORKLOADS = 8
+N_RECORDS_PER = 75
+N_LOOKUPS = 200
+N_RESCANS = 5  # full-log parses are slow; a few suffice for a stable mean
+MIN_LOOKUP_SPEEDUP = 100.0
+
+# -- warm-start stage -------------------------------------------------------
+TRIALS = 48
+DONOR_TRIALS = 64
+DONOR_SIZES = (16, 32)  # divisors of the target extents: splits transfer
+TARGET_SIZE = 64
+ROUND_SIZE = 8
+MAX_WARM_TRIALS_FRACTION = 0.5
+SEEDS = (0, 1, 2, 3, 4)
+SEED = 0
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_search_throughput.json"
+
+
+def _synthetic_log(path) -> list:
+    """A multi-workload tuning log: N_WORKLOADS keys x N_RECORDS_PER lines.
+
+    The step histories are genuine sampled programs (so every line is a
+    valid, replayable record); the costs are seeded synthetic measurements.
+    The last workload's best lands late in the file — the worst case for
+    any early-exit scan, the common case for a log that kept improving.
+    """
+    rng = np.random.default_rng(SEED)
+    tasks = [
+        SearchTask(matmul_relu(16 * (i + 1), 16, 16), intel_cpu())
+        for i in range(N_WORKLOADS)
+    ]
+    states = sample_initial_population(
+        tasks[0], generate_sketches(tasks[0]), 4, rng
+    )
+    with open(path, "w") as f:
+        for task in tasks:
+            costs = rng.uniform(1e-5, 1e-3, size=N_RECORDS_PER)
+            # force the best measurement onto the key's final line
+            costs[-1] = costs.min() / 2
+            for index, cost in enumerate(costs):
+                record = TuningRecord(
+                    workload_key=task.workload_key,
+                    target=task.target_name,
+                    steps=states[index % len(states)].serialize_steps(),
+                    costs=[float(cost)],
+                    timestamp=float(index),
+                )
+                f.write(record.to_json() + "\n")
+    return tasks
+
+
+def run_store_lookup(tmp_dir):
+    tmp_dir = Path(tmp_dir)
+    log = tmp_dir / "legacy_log.json"
+    tasks = _synthetic_log(log)
+    probe = tasks[-1]  # its best sits on the last line of the log
+
+    # legacy path: every question re-parses the whole log
+    start = time.perf_counter()
+    for _ in range(N_RESCANS):
+        rescan_best = best_record(log, probe.workload_key)
+    rescan_sec = (time.perf_counter() - start) / N_RESCANS
+
+    # store path: one ingest, then O(1) index hits
+    store = ScheduleStore(tmp_dir / "store.jsonl")
+    ingest_start = time.perf_counter()
+    absorbed = store.ingest(log)
+    ingest_sec = time.perf_counter() - ingest_start
+    fingerprint, target = probe.workload_fingerprint, probe.target_name
+    start = time.perf_counter()
+    for _ in range(N_LOOKUPS):
+        entry = store.lookup_key(fingerprint, target)
+    lookup_sec = (time.perf_counter() - start) / N_LOOKUPS
+
+    speedup = rescan_sec / lookup_sec if lookup_sec > 0 else float("inf")
+    result = {
+        "log_lines": N_WORKLOADS * N_RECORDS_PER,
+        "workloads": N_WORKLOADS,
+        "absorbed_bests": absorbed,
+        "ingest_seconds": ingest_sec,
+        "rescan_seconds_per_lookup": rescan_sec,
+        "store_seconds_per_lookup": lookup_sec,
+        "speedup": speedup,
+        # the store must answer with the very record the rescan finds
+        "parity": entry is not None
+        and entry.record.to_json() == rescan_best.to_json(),
+    }
+    merge_benchmark_result(
+        RESULT_PATH,
+        {"store_lookup": result, "store_lookup_speedup": speedup},
+    )
+    return result
+
+
+def _trials_to_reach(history, target_cost) -> int:
+    """First trial count at which a session's running best meets a target
+    (inf when the session never gets there)."""
+    for trials, cost in history:
+        if cost <= target_cost:
+            return trials
+    return float("inf")
+
+
+def _warm_start_one_seed(tmp_dir, seed):
+    """One paired cold/warm comparison: donors tuned into a fresh store,
+    then the same target workload searched without and with it."""
+    hw = intel_cpu()
+    target = SearchTask(
+        matmul_relu(TARGET_SIZE, TARGET_SIZE, TARGET_SIZE), hw, desc="target"
+    )
+    options = TuningOptions(
+        num_measure_trials=TRIALS, num_measures_per_round=ROUND_SIZE, seed=seed
+    )
+    donor_options = TuningOptions(
+        num_measure_trials=DONOR_TRIALS, num_measures_per_round=ROUND_SIZE, seed=seed
+    )
+
+    # populate the store with the donors' bests (cold sessions, same
+    # structure class as the target, smaller sizes whose splits transfer)
+    store = ScheduleStore(Path(tmp_dir) / f"warm_store_{seed}.jsonl")
+    for size in DONOR_SIZES:
+        donor = SearchTask(matmul_relu(size, size, size), hw)
+        assert donor.structure_key == target.structure_key
+        Tuner(donor, options=donor_options, store=store).tune()
+
+    # cold reference on the target workload: no store at all
+    cold = Tuner(target, options=options).tune()
+    # warm session: same budget, store-seeded first round
+    warm = Tuner(target, options=options, store=store).tune()
+    assert not warm.from_store  # the target's key itself is a miss
+
+    warm_trials = _trials_to_reach(warm.history, cold.best_cost)
+    # a session that never reaches the cold best scores the full budget
+    # (so the panel median stays finite and a single unlucky draw is a
+    # 1.0x data point, not an infinity)
+    fraction = min(warm_trials, TRIALS) / TRIALS
+    return {
+        "seed": seed,
+        "cold_best_cost": cold.best_cost,
+        "warm_best_cost": warm.best_cost,
+        "warm_trials_to_cold_best": warm_trials,
+        "warm_trials_fraction": fraction,
+    }
+
+
+def run_warm_start(tmp_dir):
+    sessions = [_warm_start_one_seed(tmp_dir, seed) for seed in SEEDS]
+    median = float(np.median([s["warm_trials_fraction"] for s in sessions]))
+    result = {
+        "trials": TRIALS,
+        "donor_sizes": list(DONOR_SIZES),
+        "target_size": TARGET_SIZE,
+        "seeds": list(SEEDS),
+        "sessions": sessions,
+        "median_warm_trials_fraction": median,
+    }
+    merge_benchmark_result(
+        RESULT_PATH,
+        {"store_warm_start": result, "warm_start_trials_fraction": median},
+    )
+    return result
+
+
+# Marked slow like the other timing benchmarks: CI runs this file once by
+# explicit path; the quick `-m "not slow"` loop skips it.
+@pytest.mark.slow
+def test_store_lookup_vs_full_rescan(tmp_path):
+    result = run_store_lookup(tmp_path)
+    print("\n=== store lookup: indexed hit vs full-log rescan ===")
+    print(f"log                  : {result['log_lines']} lines, "
+          f"{result['workloads']} workloads")
+    print(f"rescan (best_record) : {result['rescan_seconds_per_lookup']*1e3:.2f} ms/lookup")
+    print(f"store  (lookup_key)  : {result['store_seconds_per_lookup']*1e6:.2f} us/lookup")
+    print(f"speedup              : {result['speedup']:.0f}x (gate >= {MIN_LOOKUP_SPEEDUP:.0f}x)")
+    print(f"results merged into  : {RESULT_PATH.name}")
+    assert result["parity"], "store lookup returned a different record than the rescan"
+    assert result["speedup"] >= MIN_LOOKUP_SPEEDUP, (
+        f"indexed lookup is only {result['speedup']:.0f}x the full-log rescan "
+        f"(need >= {MIN_LOOKUP_SPEEDUP:.0f}x)"
+    )
+
+
+@pytest.mark.slow
+def test_warm_start_halves_trials_to_cold_best(tmp_path):
+    result = run_warm_start(tmp_path)
+    print("\n=== store warm-start: trials to reach the cold-search best ===")
+    print(f"donors -> target     : sizes {result['donor_sizes']} -> "
+          f"{result['target_size']} (same structure class)")
+    print(f"budget               : {result['trials']} trials, "
+          f"{len(result['seeds'])}-seed panel")
+    for session in result["sessions"]:
+        print(f"  seed {session['seed']}: cold {session['cold_best_cost']:.3e}s, "
+              f"warm {session['warm_best_cost']:.3e}s, reached at trial "
+              f"{session['warm_trials_to_cold_best']} "
+              f"({session['warm_trials_fraction']:.2f}x)")
+    print(f"median               : {result['median_warm_trials_fraction']:.2f}x "
+          f"of budget (gate <= {MAX_WARM_TRIALS_FRACTION}x)")
+    print(f"results merged into  : {RESULT_PATH.name}")
+    assert result["median_warm_trials_fraction"] <= MAX_WARM_TRIALS_FRACTION, (
+        f"warm-started sessions needed a median "
+        f"{result['median_warm_trials_fraction']:.2f}x of the "
+        f"{result['trials']}-trial budget to reach the cold best "
+        f"(need <= {MAX_WARM_TRIALS_FRACTION}x)"
+    )

@@ -66,6 +66,21 @@ submit-then-drain shim over the same sessions and stays bit-identical to
 the historical batch path; the async overlap is gated (>= 1.3x measured
 trials/sec when device latency dominates) by the same measurement
 benchmark.
+
+Tuning results persist across sessions through a
+:class:`repro.store.ScheduleStore` — an indexed, compactable store of best
+schedules keyed by ``(workload fingerprint, hardware target)``, layered
+over the :class:`TuningRecord` log format (legacy logs ``ingest()``
+losslessly).  ``Tuner(task, store=...)`` answers repeated requests from the
+store without searching (``TuningOptions.store_min_trials`` /
+``store_refresh`` are the escape hatches), :class:`SketchPolicy`
+warm-starts its first evolutionary population from stored bests of the same
+and structurally similar workloads, and :class:`TuningService` serves
+concurrent tuning requests from one shared trial budget, consulting the
+store before spending trials and streaming new bests back through
+:class:`StoreWriter`.  The store benchmark
+(``benchmarks/test_store_lookup.py``) gates indexed lookup against full-log
+rescans and warm-start trial counts against cold searches.
 """
 
 from . import te
@@ -111,7 +126,8 @@ from .search import baselines as _baselines  # ensure baseline policies register
 from .search.policy import SearchPolicy, register_policy, registered_policies, resolve_policy
 from .search.sketch_policy import SketchPolicy
 from .search.space import FULL_SPACE, LIMITED_SPACE, SearchSpaceOptions
-from .task import SearchTask, TuningOptions
+from .store import ScheduleStore, StoreEntry, StoreWriter, TuningRequest, TuningService
+from .task import SearchTask, TuningOptions, split_workload_key
 from .te.dag import ComputeDAG
 from .tuner import Tuner, TuningResult
 
@@ -177,5 +193,11 @@ __all__ = [
     "load_records",
     "apply_history_best",
     "records_to_curve",
+    "ScheduleStore",
+    "StoreEntry",
+    "StoreWriter",
+    "TuningRequest",
+    "TuningService",
+    "split_workload_key",
     "__version__",
 ]

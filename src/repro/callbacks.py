@@ -28,6 +28,7 @@ stopping, so no future leaks and nothing is counted twice.
 
 from __future__ import annotations
 
+import os
 import sys
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, TextIO, Tuple
@@ -197,6 +198,12 @@ class RecordToFile(MeasureCallback):
     ``on_round`` writes only results that were never streamed — a driver
     firing both hooks, as the tuning loops do, produces each record exactly
     once, byte-identical to the historical per-round log.
+
+    Durability contract (shared with :func:`repro.records.save_records`):
+    every record is written as one whole line through a buffered handle and
+    flushed per write, so a concurrent reader never observes a torn line;
+    session end additionally ``fsync``\\ s the log before closing, so a
+    completed session survives power loss, not just process death.
     """
 
     def __init__(self, path, append: bool = True):
@@ -249,6 +256,8 @@ class RecordToFile(MeasureCallback):
     def on_tuning_end(self, subject) -> None:
         self._streamed.clear()
         if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
 

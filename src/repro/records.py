@@ -21,6 +21,7 @@ mid-file.
 from __future__ import annotations
 
 import json
+import os
 import time
 import warnings
 from dataclasses import dataclass
@@ -36,7 +37,7 @@ from .hardware.measure import (
 )
 from .ir.state import State
 from .ir.steps import step_from_dict
-from .task import SearchTask
+from .task import SearchTask, split_workload_key
 
 __all__ = [
     "TuningRecord",
@@ -49,6 +50,11 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+#: anything the record-consuming helpers accept: a log path to load, or
+#: records already in memory (so callers needing both the best record and
+#: the curve parse the file once instead of once per question)
+RecordSource = Union[str, Path, Sequence["TuningRecord"]]
 
 
 class RecordLogWarning(UserWarning):
@@ -89,24 +95,25 @@ class TuningRecord:
             timestamp=res.timestamp or time.time(),
         )
 
+    def to_dict(self) -> dict:
+        """The record as the plain-JSON mapping of one log line."""
+        return {
+            "workload_key": self.workload_key,
+            "target": self.target,
+            "steps": self.steps,
+            "costs": self.costs,
+            "error": self.error,
+            "error_no": int(self.error_no),
+            "elapsed_sec": self.elapsed_sec,
+            "retry_count": self.retry_count,
+            "timestamp": self.timestamp,
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "workload_key": self.workload_key,
-                "target": self.target,
-                "steps": self.steps,
-                "costs": self.costs,
-                "error": self.error,
-                "error_no": int(self.error_no),
-                "elapsed_sec": self.elapsed_sec,
-                "retry_count": self.retry_count,
-                "timestamp": self.timestamp,
-            }
-        )
+        return json.dumps(self.to_dict())
 
     @classmethod
-    def from_json(cls, line: str) -> "TuningRecord":
-        data = json.loads(line)
+    def from_dict(cls, data: dict) -> "TuningRecord":
         return cls(
             workload_key=data["workload_key"],
             target=data["target"],
@@ -118,6 +125,10 @@ class TuningRecord:
             retry_count=int(data.get("retry_count", 0)),
             timestamp=data.get("timestamp", 0.0),
         )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TuningRecord":
+        return cls.from_dict(json.loads(line))
 
     # ------------------------------------------------------------------
     @property
@@ -137,6 +148,12 @@ class TuningRecord:
             return float("inf")
         return min(self.costs)
 
+    @property
+    def workload_fingerprint(self) -> str:
+        """The target-free half of :attr:`workload_key` (see
+        :func:`repro.task.split_workload_key`)."""
+        return split_workload_key(self.workload_key)[0]
+
     def to_state(self, task: SearchTask) -> State:
         """Rebuild the program on a task's DAG by replaying the steps."""
         steps = [step_from_dict(d) for d in self.steps]
@@ -149,11 +166,27 @@ def save_records(
     results: Sequence[MeasureResult],
     append: bool = True,
 ) -> None:
-    """Append measurement records to a JSON-lines log file."""
+    """Append measurement records to a JSON-lines log file.
+
+    Durability contract: every record is serialized to a complete line
+    *before* anything touches the file, the whole batch goes out through one
+    buffered write, and the handle is flushed and fsynced before it closes.
+    A crash therefore loses at most the batch being written — it can no
+    longer interleave half a line into the log mid-record, which was exactly
+    the malformed-line case :func:`load_records` warns about.  (A torn write
+    *below* the filesystem can still truncate the final line; that one line
+    is what the :class:`RecordLogWarning` tolerance in :func:`load_records`
+    exists for.)
+    """
+    lines = "".join(
+        TuningRecord.from_measurement(inp, res).to_json() + "\n"
+        for inp, res in zip(inputs, results)
+    )
     mode = "a" if append else "w"
     with open(path, mode) as f:
-        for inp, res in zip(inputs, results):
-            f.write(TuningRecord.from_measurement(inp, res).to_json() + "\n")
+        f.write(lines)
+        f.flush()
+        os.fsync(f.fileno())
 
 
 def load_records(path: PathLike, strict: bool = False) -> List[TuningRecord]:
@@ -208,10 +241,26 @@ def records_to_curve(
     return curve
 
 
-def best_record(path: PathLike, workload_key: str) -> Optional[TuningRecord]:
-    """The fastest valid record of a workload, or ``None``."""
+def _as_records(source: RecordSource) -> Iterable[TuningRecord]:
+    """Resolve a :data:`RecordSource`: a path loads the log, anything else
+    is treated as records already in memory."""
+    if isinstance(source, (str, Path)):
+        return load_records(source)
+    return source
+
+
+def best_record(source: RecordSource, workload_key: str) -> Optional[TuningRecord]:
+    """The fastest valid record of a workload, or ``None``.
+
+    ``source`` is a log path *or* pre-loaded records: a caller that needs
+    both the best record and the tuning curve should call
+    :func:`load_records` once and pass the list to both this function and
+    :func:`records_to_curve`, instead of paying a full re-read and re-parse
+    of the log per question.  (For repeated lookups across sessions, the
+    indexed :class:`repro.store.ScheduleStore` answers in O(1).)
+    """
     best: Optional[TuningRecord] = None
-    for record in load_records(path):
+    for record in _as_records(source):
         if record.workload_key != workload_key or not record.valid:
             continue
         if best is None or record.best_cost < best.best_cost:
@@ -219,9 +268,11 @@ def best_record(path: PathLike, workload_key: str) -> Optional[TuningRecord]:
     return best
 
 
-def apply_history_best(task: SearchTask, path: PathLike) -> Optional[State]:
-    """Rebuild the best logged program for a task (the deployment path)."""
-    record = best_record(path, task.workload_key)
+def apply_history_best(task: SearchTask, source: RecordSource) -> Optional[State]:
+    """Rebuild the best logged program for a task (the deployment path).
+
+    Accepts a log path or pre-loaded records, like :func:`best_record`."""
+    record = best_record(source, task.workload_key)
     if record is None:
         return None
     return record.to_state(task)

@@ -83,6 +83,7 @@ class TaskScheduler:
         backward_window: int = 3,
         eps_greedy: float = 0.05,
         max_empty_rounds: int = 2,
+        trial_limits: Optional[Sequence[Optional[int]]] = None,
         seed: int = 0,
         verbose: int = 0,
     ):
@@ -94,6 +95,14 @@ class TaskScheduler:
         n = len(self.tasks)
         if n == 0:
             raise ValueError("TaskScheduler needs at least one task")
+        if trial_limits is not None:
+            trial_limits = list(trial_limits)
+            if len(trial_limits) != n:
+                raise ValueError(
+                    f"trial_limits has {len(trial_limits)} entries for {n} tasks"
+                )
+            if any(limit is not None and limit <= 0 for limit in trial_limits):
+                raise ValueError("trial_limits entries must be positive (or None)")
         self.task_weights = list(task_weights) if task_weights is not None else [1.0] * n
         self.task_to_dnn = list(task_to_dnn) if task_to_dnn is not None else [0] * n
         self.objective = objective or WeightedSumLatency(self.task_weights, self.task_to_dnn)
@@ -116,10 +125,18 @@ class TaskScheduler:
             policy_factory(task, self.cost_model, seed + idx) for idx, task in enumerate(self.tasks)
         ]
 
+        #: per-task caps on measurement trials (None = only the shared
+        #: budget): the scheduler stops allocating to a task once its
+        #: consumed trials reach the cap — the per-request ``max_trials``
+        #: of a :class:`~repro.store.TuningService`
+        self.trial_limits: Optional[List[Optional[int]]] = trial_limits
         #: per-task measurement pipelines (populated by :meth:`tune`)
         self.measurers: List[MeasurePipeline] = []
         #: rounds allocated per task (t_i)
         self.allocations: List[int] = [0] * n
+        #: measurement trials consumed per task under this scheduler
+        #: (the quantity :attr:`trial_limits` caps)
+        self.task_trials: List[int] = [0] * n
         #: tasks a callback early-stopped (no further rounds are allocated)
         self.exhausted: List[bool] = [False] * n
         #: consecutive rounds in which a task's policy produced no candidates
@@ -189,18 +206,39 @@ class TaskScheduler:
         gradient = df_dg * (self.alpha * backward + (1 - self.alpha) * forward)
         return min(gradient, 0.0)
 
-    def _select_task(self, pending_alloc: Optional[Sequence[int]] = None) -> Optional[int]:
+    def _remaining_limit(
+        self, index: int, pending_trials: Optional[Sequence[int]] = None
+    ) -> Optional[int]:
+        """Trials a task may still consume under its per-task cap (None =
+        uncapped); in-flight trials of the async driver count as spent."""
+        if self.trial_limits is None:
+            return None
+        limit = self.trial_limits[index]
+        if limit is None:
+            return None
+        pending = pending_trials[index] if pending_trials is not None else 0
+        return max(0, limit - self.task_trials[index] - pending)
+
+    def _select_task(
+        self,
+        pending_alloc: Optional[Sequence[int]] = None,
+        pending_trials: Optional[Sequence[int]] = None,
+    ) -> Optional[int]:
         """Pick the next task to allocate a round to.
 
         ``pending_alloc`` counts rounds already proposed but not yet
         accounted (the async driver's in-flight lookahead), so warm-up and
         round-robin do not re-pick a task whose first round is still on the
-        devices."""
+        devices; ``pending_trials`` is the same for per-task trial caps."""
         if pending_alloc is None:
             alloc = self.allocations
         else:
             alloc = [a + p for a, p in zip(self.allocations, pending_alloc)]
-        live = [i for i, done in enumerate(self.exhausted) if not done]
+        live = [
+            i
+            for i, done in enumerate(self.exhausted)
+            if not done and self._remaining_limit(i, pending_trials) != 0
+        ]
         if not live:
             return None
         if self.strategy == "round_robin":
@@ -349,6 +387,9 @@ class TaskScheduler:
             policy = self.policies[index]
             task_measurer = self.measurers[index]
             budget = min(num_measures_per_round, num_measure_trials - self.total_trials)
+            remaining = self._remaining_limit(index)
+            if remaining is not None:
+                budget = min(budget, remaining)
             # Two-argument call: pre-0.2.0 policies (no callbacks
             # parameter) keep working; events fire here at the loop level.
             inputs, results = policy.continue_search_one_round(budget, task_measurer)
@@ -378,6 +419,7 @@ class TaskScheduler:
             if stopped:
                 self.exhausted[index] = True
             self.total_trials += consumed
+            self.task_trials[index] += consumed
             self.allocations[index] += 1
             self.best_costs[index] = policy.best_cost
             self.latency_history[index].append(policy.best_cost)
@@ -420,6 +462,7 @@ class TaskScheduler:
         """
         sessions: Dict[int, MeasureSession] = {}
         pending_alloc = [0] * len(self.tasks)
+        pending_trials = [0] * len(self.tasks)
         submitted = 0  # trials in flight: proposed but not yet accounted
 
         def _session_for(index: int) -> MeasureSession:
@@ -442,9 +485,12 @@ class TaskScheduler:
                 )
                 if budget <= 0:
                     return None
-                index = self._select_task(pending_alloc)
+                index = self._select_task(pending_alloc, pending_trials)
                 if index is None:
                     return None
+                remaining = self._remaining_limit(index, pending_trials)
+                if remaining is not None:
+                    budget = min(budget, remaining)
                 states = self.policies[index].propose_candidates(budget)
                 if not states:
                     # Same phantom-trial accounting as the synchronous loop:
@@ -459,6 +505,7 @@ class TaskScheduler:
                 futures = _session_for(index).submit(inputs)
                 submitted += len(inputs)
                 pending_alloc[index] += 1
+                pending_trials[index] += len(inputs)
                 return (index, inputs, futures)
 
         def _finish(round_, suppress_stop: bool = False) -> bool:
@@ -498,6 +545,7 @@ class TaskScheduler:
                             for pending in futures:
                                 pending.cancel()
             pending_alloc[index] -= 1
+            pending_trials[index] -= len(inputs)
             submitted -= len(inputs)
             if not kept_inputs:
                 # Everything was cancelled before reaching a device: the
@@ -513,6 +561,7 @@ class TaskScheduler:
                     stop_task = True
             consumed = len(kept_inputs)
             self.total_trials += consumed
+            self.task_trials[index] += consumed
             self.allocations[index] += 1
             self.empty_rounds[index] = 0
             self.best_costs[index] = policy.best_cost

@@ -117,6 +117,19 @@ class SearchPolicy:
         self.num_trials: int = 0
         #: (trial_count, best_cost) after every round — used for tuning curves
         self.history: List[Tuple[int, float]] = []
+        #: a bound :class:`~repro.store.ScheduleStore` (cross-session
+        #: warm-start source); None until :meth:`bind_store` is called
+        self.schedule_store = None
+
+    def bind_store(self, store) -> None:
+        """Attach a :class:`~repro.store.ScheduleStore` as this policy's
+        warm-start source.  The base class only keeps the reference (and
+        registers the task's structure class); policies that know how to
+        seed themselves from cached bests — :class:`SketchPolicy` seeds its
+        initial evolutionary population — read ``self.schedule_store``."""
+        self.schedule_store = store
+        if store is not None:
+            store.register_task(self.task)
 
     # -- the propose / ingest halves -------------------------------------
     def propose_candidates(self, num_measures: int) -> List[State]:

@@ -59,6 +59,8 @@ class SketchPolicy(SearchPolicy):
         eps_greedy: float = 0.05,
         use_evolutionary_search: bool = True,
         retained_best: int = 12,
+        schedule_store=None,
+        warm_start_limit: int = 8,
         seed: int = 0,
         verbose: int = 0,
     ):
@@ -72,10 +74,16 @@ class SketchPolicy(SearchPolicy):
         self.eps_greedy = eps_greedy
         self.use_evolutionary_search = use_evolutionary_search
         self.retained_best = retained_best
+        #: cap on store-seeded warm-start programs per session
+        self.warm_start_limit = warm_start_limit
         self._sketches: Optional[List[State]] = None
         self._measured_keys: set = set()
         #: (cost, state) of the best measured programs, kept for seeding evolution
         self._best_measured: List[Tuple[float, State]] = []
+        #: set once the store warm-start has been consumed (first round only)
+        self._warm_consumed = False
+        if schedule_store is not None:
+            self.bind_store(schedule_store)
 
     # ------------------------------------------------------------------
     @property
@@ -97,6 +105,50 @@ class SketchPolicy(SearchPolicy):
         for _, state in self._best_measured[: self.retained_best]:
             population.append(state)
         return population
+
+    # -- cross-session warm-start ----------------------------------------
+    def _warm_start_states(self) -> List[State]:
+        """Replay warm-start seeds from the bound schedule store.
+
+        Two tiers: the store's best for *this* workload key (an exact
+        cross-session resume), then bests of structurally similar workloads
+        (same DAG shape class, different sizes — their step histories replay
+        onto this task's stage/axis skeleton).  A similar-workload history
+        whose tile sizes do not apply to the new extents is skipped, and the
+        random-sampling remainder of the population covers whatever the
+        store could not seed.
+        """
+        store = self.schedule_store
+        if store is None:
+            return []
+        candidates = []
+        exact = store.lookup(self.task)
+        if exact is not None:
+            candidates.append(exact)
+        candidates.extend(
+            store.similar_entries(self.task, limit=self.warm_start_limit)
+        )
+        states: List[State] = []
+        seen = set()
+        for entry in candidates:
+            if len(states) >= self.warm_start_limit:
+                break
+            try:
+                state = entry.to_state(self.task)
+            except Exception:
+                continue  # foreign sizes made the step history inapplicable
+            key = _state_key(state)
+            if key in seen or key in self._measured_keys:
+                continue
+            seen.add(key)
+            states.append(state)
+        if self.verbose and states:
+            print(
+                f"[SketchPolicy] warm-starting from {len(states)} stored "
+                f"schedule(s) ({'exact hit + ' if exact is not None else ''}"
+                f"structure class {self.task.structure_key})"
+            )
+        return states
 
     def _pick_candidates(
         self, ranked: List[State], population: List[State], num_measures: int
@@ -134,8 +186,19 @@ class SketchPolicy(SearchPolicy):
         Picked programs are marked measured immediately — an async driver
         breeds round *k+1* before round *k*'s results are ingested, and the
         in-flight programs must not be proposed twice.
+
+        With a bound schedule store, the first round is *warm-started*:
+        stored bests of this workload and of structurally similar ones join
+        the initial evolutionary population **and** are pinned to the front
+        of the round's measurement batch, so the transferred schedules are
+        measured before any trial is spent on unproven candidates.
         """
+        warm: List[State] = []
+        if not self._warm_consumed:
+            self._warm_consumed = True
+            warm = self._warm_start_states()
         population = self._initial_population()
+        population.extend(warm)
         if not population:
             return []
 
@@ -155,6 +218,13 @@ class SketchPolicy(SearchPolicy):
             self.rng.shuffle(ranked)
 
         candidates = self._pick_candidates(ranked, population, num_measures)
+        if warm:
+            # Pin the warm-start seeds to the front of the batch (dedup
+            # against the evolved picks), budget permitting.
+            warm_keys = {_state_key(s) for s in warm}
+            candidates = (
+                warm + [s for s in candidates if _state_key(s) not in warm_keys]
+            )[:num_measures]
         for state in candidates:
             self._measured_keys.add(_state_key(state))
         return candidates

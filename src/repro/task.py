@@ -17,8 +17,23 @@ from .te.dag import ComputeDAG
 if TYPE_CHECKING:  # pragma: no cover - types only (avoid an import cycle)
     from .hardware.measure import ProgramBuilder, ProgramRunner
     from .hardware.rpc import DeviceLike
+    from .store import ScheduleStore
 
-__all__ = ["SearchTask", "TuningOptions"]
+__all__ = ["SearchTask", "TuningOptions", "split_workload_key"]
+
+
+def split_workload_key(key: str) -> tuple:
+    """Split a combined ``"<fingerprint>@<target>"`` workload key into its
+    ``(workload_fingerprint, target_name)`` halves.
+
+    The fingerprint half is a hex digest and never contains ``@``; a key
+    without a separator (foreign or pre-split data) comes back with an empty
+    target.  This is the one sanctioned parser of the combined form — store
+    keys, record ingestion and anything else needing the halves should use
+    it instead of re-splitting the string ad hoc.
+    """
+    fingerprint, sep, target = key.partition("@")
+    return (fingerprint, target if sep else "")
 
 
 class SearchTask:
@@ -35,9 +50,36 @@ class SearchTask:
         self.desc = desc or compute_dag.pretty_print().splitlines()[-1][:60]
 
     @property
+    def workload_fingerprint(self) -> str:
+        """Target-free identity of the computation (the DAG's workload key).
+
+        This is one half of the schedule-store key: the same computation
+        tuned for two machines shares a fingerprint but not a store entry.
+        """
+        return self.compute_dag.workload_key()
+
+    @property
+    def target_name(self) -> str:
+        """The hardware half of the store key (the target's name)."""
+        return self.hardware_params.name
+
+    @property
     def workload_key(self) -> str:
-        """Stable identifier combining the computation and the target."""
-        return f"{self.compute_dag.workload_key()}@{self.hardware_params.name}"
+        """Stable identifier combining the computation and the target.
+
+        Kept for compatibility (tuning-log records key on it); consumers
+        needing the halves separately should read
+        :attr:`workload_fingerprint` / :attr:`target_name` or split a
+        combined key with :func:`split_workload_key` instead of re-parsing
+        the ``@``-joined string.
+        """
+        return f"{self.workload_fingerprint}@{self.target_name}"
+
+    @property
+    def structure_key(self) -> str:
+        """The DAG's shape-class hash (sizes erased) — the schedule store's
+        similarity class for cross-workload warm-starts."""
+        return self.compute_dag.structure_key()
 
     def flop_count(self) -> int:
         return self.compute_dag.flop_count()
@@ -96,6 +138,19 @@ class TuningOptions:
     #: The default False preserves the batch-synchronous behaviour (and its
     #: tuning logs) bit for bit.
     async_measure: bool = False
+    #: a :class:`~repro.store.ScheduleStore` consulted before searching:
+    #: a hit on ``(workload fingerprint, target)`` returns the cached best
+    #: without consuming trials, a miss (or a structurally similar entry)
+    #: warm-starts the search, and new bests stream back into the store.
+    #: Equivalent to ``Tuner(task, store=...)``.
+    schedule_store: "Optional[ScheduleStore]" = None
+    #: escape hatch: even on a store hit, spend this many fresh
+    #: (warm-started) measurement trials before returning — 0 means a hit
+    #: short-circuits the search entirely.
+    store_min_trials: int = 0
+    #: escape hatch: ignore store hits and run the full search (still
+    #: warm-started, and the result still refreshes the store).
+    store_refresh: bool = False
 
     def __post_init__(self) -> None:
         if self.num_measure_trials <= 0:
@@ -112,3 +167,5 @@ class TuningOptions:
             raise ValueError("run_timeout must be positive (or None to disable)")
         if self.n_retry < 0:
             raise ValueError("n_retry must be >= 0")
+        if self.store_min_trials < 0:
+            raise ValueError("store_min_trials must be >= 0")

@@ -133,6 +133,31 @@ class ComputeDAG:
         digest = hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
         return digest
 
+    def structure_key(self) -> str:
+        """A stable hash of the DAG's *shape class*: op kinds, loop arities,
+        tags and the dataflow wiring, with every extent erased.
+
+        Workloads that differ only in sizes (``matmul(64,64,64)`` vs
+        ``matmul(256,256,128)``) share a structure key, while structurally
+        different computations (matmul vs conv2d, fused vs unfused) do not.
+        The schedule store uses this as its similarity class: a tuned best
+        from the same structure class is a strong warm-start seed for a
+        resized workload, because the transform-step history replays onto
+        the same stage/axis skeleton.
+        """
+        parts: List[str] = []
+        for op in self.ops:
+            if isinstance(op, PlaceholderOp):
+                parts.append(f"P:{op.name}:{len(op.shape)}")
+            else:
+                assert isinstance(op, ComputeOp)
+                inputs = tuple(self._op_index[t.op] for t in op.input_tensors)
+                parts.append(
+                    f"C:{op.name}:{len(op.axes)}:{len(op.reduce_axes)}:"
+                    f"{op.tag}:{inputs}"
+                )
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
     def __repr__(self) -> str:
         names = ", ".join(op.name for op in self.ops)
         return f"ComputeDAG([{names}])"

@@ -32,7 +32,7 @@ Every session returns a structured :class:`TuningResult`::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -44,6 +44,7 @@ from .ir.state import State
 from .scheduler.objectives import Objective
 from .scheduler.task_scheduler import TaskScheduler
 from .search.policy import PolicyFactory, SearchPolicy, resolve_policy
+from .store import ScheduleStore, StoreWriter
 from .task import SearchTask, TuningOptions
 from .workloads.networks import extract_tasks
 
@@ -99,6 +100,9 @@ class TuningResult:
     num_trials: int = 0
     #: measurements that failed to build or run (invalid schedules)
     num_errors: int = 0
+    #: True when the result was served from a :class:`~repro.store.ScheduleStore`
+    #: hit without searching (``num_trials`` is then 0)
+    from_store: bool = False
 
     # -- single-task conveniences ---------------------------------------
     @property
@@ -153,6 +157,19 @@ class Tuner:
         options raises (the measurer would silently swallow them);
         ``options.async_measure`` is the exception — it selects the session
         mode and is honored either way.
+    store:
+        A :class:`~repro.store.ScheduleStore` (equivalent to
+        ``TuningOptions(schedule_store=...)``; giving both different stores
+        raises).  Single-task sessions consult it before searching: a hit on
+        the task's ``(workload fingerprint, target)`` key returns the cached
+        best as a zero-trial :class:`TuningResult` (``from_store=True``)
+        unless ``options.store_refresh`` forces a re-tune or
+        ``options.store_min_trials`` asks for that many fresh warm-started
+        trials instead.  On a miss the search warm-starts from the store's
+        structurally similar bests, and every new best streams back into the
+        store through a :class:`~repro.store.StoreWriter`.  Network sessions
+        use the store for warm-starts and write-back; request-level instant
+        lookup under a shared budget is :class:`~repro.store.TuningService`.
     hardware / batch / max_tasks_per_network / objective / scheduler_strategy:
         Network-session knobs, forwarded to the task extractor and the
         :class:`~repro.scheduler.task_scheduler.TaskScheduler`.
@@ -167,6 +184,7 @@ class Tuner:
         callbacks: Optional[Sequence[MeasureCallback]] = None,
         policy_kwargs: Optional[dict] = None,
         measurer: Optional[MeasurePipeline] = None,
+        store: Optional[ScheduleStore] = None,
         hardware: Optional[HardwareParams] = None,
         batch: int = 1,
         max_tasks_per_network: Optional[int] = None,
@@ -178,6 +196,15 @@ class Tuner:
         self.options = options or TuningOptions()
         self.callbacks = list(callbacks or [])
         self.policy_kwargs = dict(policy_kwargs or {})
+        options_store = self.options.schedule_store
+        if store is not None and options_store is not None and store is not options_store:
+            raise ValueError(
+                "Tuner got store= and TuningOptions(schedule_store=...) "
+                "pointing at different stores; pass one or the other"
+            )
+        #: the schedule store consulted before searching (instant lookup),
+        #: used for warm-starts, and refreshed with every new best
+        self.store = store if store is not None else options_store
         if measurer is not None:
             # A ready measurer and options that ask for a differently
             # configured pipeline cannot both win; matching the pipeline's
@@ -247,11 +274,58 @@ class Tuner:
         return self._tune_networks(self.networks)
 
     # -- single task -----------------------------------------------------
+    def _store_hit_result(self, task: SearchTask, entry) -> TuningResult:
+        """A :class:`TuningResult` served straight from the store: the
+        cached best state/cost, zero trials consumed."""
+        return TuningResult(
+            tasks=[task],
+            best_costs=[entry.best_cost],
+            best_states=[entry.to_state(task)],
+            history=[(0, entry.best_cost)],
+            num_trials=0,
+            num_errors=0,
+            from_store=True,
+        )
+
+    def _store_callbacks(self) -> List[MeasureCallback]:
+        """This session's callbacks plus a :class:`StoreWriter` streaming
+        new bests into the bound store (unless one is already attached)."""
+        callbacks = list(self.callbacks)
+        if self.store is not None and not any(
+            isinstance(cb, StoreWriter) and cb.store is self.store for cb in callbacks
+        ):
+            callbacks.append(StoreWriter(self.store))
+        return callbacks
+
     def _tune_single(self, task: SearchTask) -> TuningResult:
+        options = self.options
+        entry = None
+        if self.store is not None:
+            self.store.register_task(task)
+            if not options.store_refresh:
+                entry = self.store.lookup(task)
+            if entry is not None and options.store_min_trials == 0:
+                # Instant lookup: somebody already tuned this exact
+                # (workload fingerprint, target) key — serve the cached
+                # best without spending a single measurement trial.
+                return self._store_hit_result(task, entry)
+            if entry is not None:
+                # min_trials escape hatch: the hit does not short-circuit,
+                # but it caps this session's fresh (warm-started) budget.
+                options = replace(
+                    options,
+                    num_measure_trials=min(
+                        options.num_measure_trials, options.store_min_trials
+                    ),
+                )
         policy = self._make_policy(task)
+        if self.store is not None:
+            # Cross-session warm-start: the policy seeds its first round
+            # from the store's bests (exact key and same structure class).
+            policy.bind_store(self.store)
         measurer = self.measurer
         if measurer is None:
-            measurer = MeasurePipeline.from_options(task.hardware_params, self.options)
+            measurer = MeasurePipeline.from_options(task.hardware_params, options)
         else:
             # Same validation the scheduler applies to multi-task sessions:
             # a supplied measurer must target the task's hardware.
@@ -266,7 +340,7 @@ class Tuner:
         # caller-supplied (possibly pre-used) policy or measurer.
         trials_before = policy.num_trials
         errors_before = measurer.error_count
-        policy.tune(self.options, measurer, self.callbacks)
+        policy.tune(options, measurer, self._store_callbacks())
         return TuningResult(
             tasks=[task],
             best_costs=[policy.best_cost],
@@ -290,11 +364,21 @@ class Tuner:
         factory = self._policy_factory()
         options = self.options
         kwargs = self.policy_kwargs
+        store = self.store
+        if store is not None:
+            # Network sessions use the store for warm-starts and write-back;
+            # per-task instant lookup under a shared scheduler budget is the
+            # TuningService front-end's job (repro.store.TuningService).
+            for task in tasks:
+                store.register_task(task)
 
         def scheduler_factory(task, cost_model, seed):
             merged = {"cost_model": cost_model, "seed": seed,
                       "verbose": options.verbose, **kwargs}
-            return factory(task, **merged)
+            policy = factory(task, **merged)
+            if store is not None:
+                policy.bind_store(store)
+            return policy
 
         scheduler = TaskScheduler(
             tasks,
@@ -306,7 +390,7 @@ class Tuner:
             seed=options.seed,
             verbose=options.verbose,
         )
-        callbacks = list(self.callbacks)
+        callbacks = self._store_callbacks()
         if options.early_stopping:
             from .callbacks import EarlyStopper
 

@@ -120,7 +120,8 @@ def test_record_to_file_round_trips_through_load_records(tmp_path, task):
     assert curve[-1][1] == pytest.approx(result.best_cost)
 
     # deployment path: replay the best program and re-estimate its cost
-    state = apply_history_best(task, log)
+    # (passing the pre-loaded records skips a second full-log parse)
+    state = apply_history_best(task, records)
     assert state is not None
     assert state.serialize_steps() == result.best_state.serialize_steps()
     simulated = CostSimulator(task.hardware_params).estimate(state)

@@ -11,7 +11,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench throughput measure-throughput store-bench profile install help
+.PHONY: test test-fast bench throughput measure-throughput store-bench fleet-bench profile install help
 
 install:
 	pip install -e .
@@ -44,6 +44,12 @@ measure-throughput:
 store-bench:
 	$(PYTEST) -q -s benchmarks/test_store_lookup.py
 
+# Fleet-resilience baseline: breaker-on vs breaker-off throughput under a
+# 50%-faulty board (>= 2x, best cost within 5% of a healthy pool), fault-rate
+# estimation convergence (within 20% after 100 trials), and no-fault parity.
+fleet-bench:
+	$(PYTEST) -q -s benchmarks/test_fleet_resilience.py
+
 # Profile the search hot path: a small evolution run under cProfile.
 profile:
 	PYTHONPATH=src python benchmarks/profile_search.py
@@ -55,5 +61,6 @@ help:
 	@echo "make throughput  - search states/sec baseline -> BENCH_search_throughput.json"
 	@echo "make measure-throughput - measured trials/sec: parallel vs serial, rpc vs thread, async overlap vs sync"
 	@echo "make store-bench - schedule store: indexed lookup vs log rescan, warm-start vs cold search"
+	@echo "make fleet-bench - device fleet: breaker vs fault storm, estimate convergence, no-fault parity"
 	@echo "make profile     - cProfile a small evolution run (top-25 cumulative)"
 	@echo "make install     - pip install -e ."

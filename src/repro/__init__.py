@@ -67,6 +67,24 @@ the historical batch path; the async overlap is gated (>= 1.3x measured
 trials/sec when device latency dominates) by the same measurement
 benchmark.
 
+The device pool behind the "rpc" runner is *elastic and self-healing*
+(:class:`repro.hardware.fleet.DeviceFleet`): every result is attributed to
+the device that ran it (``MeasureResult.device`` / per-attempt
+``MeasureResult.attempts``, persisted via ``TuningRecord.device``) and
+feeds an online :class:`repro.hardware.fleet.EstimatedProfile` that
+replaces declared profiles in least-loaded dispatch; a circuit breaker
+(``TuningOptions(circuit_breaker=...)``) quarantines boards whose
+estimated fault rate spikes, re-admits them after canary probes, and
+ejects dead ones; devices join and leave mid-session
+(``runner.add_device`` / ``remove_device(drain=True)``) without losing or
+double-counting results; ``dispatch="affinity"`` pins workloads to home
+devices by rendezvous hashing; and ``TuningOptions(retry_timeouts=True)``
+extends transparent retry to per-device ``RUN_TIMEOUT`` faults.  The fleet
+benchmark (``benchmarks/test_fleet_resilience.py``) gates >= 2x measured
+trials/sec over a breaker-off pool under a 50%-fault storm (best cost
+within 5% of a healthy pool), fault-rate-estimate convergence, and
+bit-parity with the plain pool when nothing is failing.
+
 Tuning results persist across sessions through a
 :class:`repro.store.ScheduleStore` — an indexed, compactable store of best
 schedules keyed by ``(workload fingerprint, hardware target)``, layered
@@ -116,6 +134,7 @@ from .hardware.measure import (
     resolve_builder,
     resolve_runner,
 )
+from .hardware.fleet import CircuitBreakerConfig, DeviceFleet, EstimatedProfile
 from .hardware.measurer import ProgramMeasurer
 from .hardware.rpc import DeviceProfile, RpcBuilder, RpcRunner
 from .hardware.simulator import CostSimulator
@@ -180,6 +199,9 @@ __all__ = [
     "NoFaults",
     "RandomFaults",
     "DeviceProfile",
+    "DeviceFleet",
+    "EstimatedProfile",
+    "CircuitBreakerConfig",
     "RpcBuilder",
     "RpcRunner",
     "register_builder",

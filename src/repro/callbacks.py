@@ -320,11 +320,23 @@ class ProgressLogger(MeasureCallback):
                 share = (
                     100.0 * entry.get("busy_sec", 0.0) / total_busy if total_busy > 0 else 0.0
                 )
-                self._print(
+                line = (
                     f"  {name}: runs={int(entry.get('runs', 0))} "
                     f"errors={int(entry.get('errors', 0))} "
                     f"busy={entry.get('busy_sec', 0.0):.3e}s ({share:.0f}%)"
                 )
+                # Fleet-managed pools report breaker state and the learned
+                # fault profile; surface them when non-trivial so a
+                # quarantined or misbehaving board is visible from the log.
+                state = entry.get("state")
+                if state is not None and state != "healthy":
+                    line += f" state={state}"
+                est_fault = entry.get("est_fault_rate", 0.0) + entry.get(
+                    "est_timeout_rate", 0.0
+                )
+                if est_fault > 0:
+                    line += f" est_fault={est_fault:.2f}"
+                self._print(line)
 
     def on_round(self, event: MeasureEvent) -> None:
         from .hardware.measure import MeasureErrorNo  # local: avoid import cycle

@@ -15,12 +15,19 @@ Layout:
   a stream through :class:`MeasureSession` (``submit()`` /
   ``as_completed()`` / :class:`MeasureFuture`), which is how the tuning
   loops overlap candidate generation with device time.
+* :mod:`~repro.hardware.fleet` — elastic, self-healing device-pool
+  management: :class:`DeviceFleet` learns a per-device
+  :class:`EstimatedProfile` from every result, quarantines / re-admits /
+  ejects misbehaving boards through a circuit breaker
+  (:class:`CircuitBreakerConfig`), supports join/leave mid-session with
+  clean drain, and dispatches round-robin, least-loaded or by sticky
+  workload affinity.
 * :mod:`~repro.hardware.rpc` — the remote measurement backend:
   :class:`RpcBuilder` compiles in a process pool (true parallelism for
-  CPU-bound lowering) and :class:`RpcRunner` dispatches runs to a pool of
-  named devices, each with its own :class:`DeviceProfile` (noise, fault
-  rates, queue latency, slowdown).  Registered as ``"rpc"`` in both
-  registries.
+  CPU-bound lowering) and :class:`RpcRunner` dispatches runs through a
+  :class:`DeviceFleet` of named devices, each with its own
+  :class:`DeviceProfile` (noise, fault rates, queue latency, slowdown).
+  Registered as ``"rpc"`` in both registries.
 * :mod:`~repro.hardware.measurer` — the legacy :class:`ProgramMeasurer`,
   now a thin serial/no-fault shim over :class:`MeasurePipeline`.
 """
@@ -46,6 +53,12 @@ from .measure import (
     registered_runners,
     resolve_builder,
     resolve_runner,
+)
+from .fleet import (
+    CircuitBreakerConfig,
+    DeviceFleet,
+    DeviceState,
+    EstimatedProfile,
 )
 from .measurer import ProgramMeasurer
 from .platform import CacheLevel, HardwareParams, arm_cpu, intel_cpu, intel_cpu_avx512, nvidia_gpu, target_from_name
@@ -75,6 +88,10 @@ __all__ = [
     "ProgramRunner",
     "LocalRunner",
     "DeviceProfile",
+    "DeviceFleet",
+    "DeviceState",
+    "EstimatedProfile",
+    "CircuitBreakerConfig",
     "RpcBuilder",
     "RpcRunner",
     "MeasurePipeline",

@@ -133,7 +133,7 @@ from collections import OrderedDict, deque
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -219,8 +219,15 @@ class MeasureResult:
     wall-clock the pipeline spent on this candidate (build + run, summed
     over every retry attempt), so failed trials are plottable and chargeable
     too.  ``retry_count`` is how many times the run stage was re-executed
-    after a transient ``RUN_ERROR`` (see the module's retry-policy section);
-    it round-trips through the tuning log.
+    after a transient fault (see the module's retry-policy section); it
+    round-trips through the tuning log.
+
+    Device-pool runners additionally stamp ``device`` — the name of the
+    device that executed the *standing* (final) attempt — and ``attempts``,
+    a per-attempt ledger of dicts (``device``, ``error_no``,
+    ``occupancy_sec``, ``canary``) accumulated across retries, so every
+    attempt's cost is attributable to the board that actually ran it.
+    Device-blind runners leave both at their defaults.
     """
 
     costs: List[float]
@@ -228,6 +235,8 @@ class MeasureResult:
     error_no: int = MeasureErrorNo.NO_ERROR
     elapsed_sec: float = 0.0
     retry_count: int = 0
+    device: Optional[str] = None
+    attempts: List[dict] = field(default_factory=list)
     timestamp: float = field(default_factory=time.time)
 
     def __post_init__(self) -> None:
@@ -358,17 +367,24 @@ class RandomFaults(FaultModel):
         self.seed = seed
         self.max_tracked_programs = max_tracked_programs
         self._transient_draws: "OrderedDict[str, int]" = OrderedDict()
+        # Timeout draws keep their own counter: a timeout return must not
+        # advance the transient-error sequence (that would shift every
+        # subsequent error draw of mixed-fault profiles), but re-measuring a
+        # timed-out program still has to draw fresh — per-device timeouts
+        # are transient too (a thermal stall clears; the board reboots).
+        self._timeout_draws: "OrderedDict[str, int]" = OrderedDict()
 
     def reset(self) -> None:
         self._transient_draws.clear()
+        self._timeout_draws.clear()
 
-    def _next_attempt(self, key: str) -> int:
+    def _next_attempt(self, draws: "OrderedDict[str, int]", key: str) -> int:
         """The retry-counter draw for a program, under the LRU bound."""
-        attempt = self._transient_draws.get(key, 0)
-        self._transient_draws[key] = attempt + 1
-        self._transient_draws.move_to_end(key)
-        while len(self._transient_draws) > self.max_tracked_programs:
-            self._transient_draws.popitem(last=False)
+        attempt = draws.get(key, 0)
+        draws[key] = attempt + 1
+        draws.move_to_end(key)
+        while len(draws) > self.max_tracked_programs:
+            draws.popitem(last=False)
         return attempt
 
     def build_fault(self, inp: MeasureInput) -> Optional[Tuple[MeasureErrorNo, str]]:
@@ -381,14 +397,17 @@ class RandomFaults(FaultModel):
 
     def run_fault(self, inp: MeasureInput) -> Optional[Tuple[MeasureErrorNo, str]]:
         if self.run_timeout_prob > 0:
-            rng = _program_rng(inp, self.seed, "timeout")
+            # Attempt 0 keeps the historical fixed salt (bit-compatible with
+            # every seeded session recorded before timeout retries existed);
+            # re-draws are salted with the attempt counter so a retried
+            # timeout can genuinely clear, like the transient-error draw.
+            attempt = self._next_attempt(self._timeout_draws, self._program_key(inp))
+            salt = "timeout" if attempt == 0 else f"timeout/{attempt}"
+            rng = _program_rng(inp, self.seed, salt)
             if rng.random() < self.run_timeout_prob:
                 return (MeasureErrorNo.RUN_TIMEOUT, "FaultModel: injected run timeout")
         if self.run_error_prob > 0:
-            # Digest key: a long session measures many distinct programs, and
-            # full step reprs would retain multi-KB strings per program.
-            key = hashlib.sha256(repr(inp.state.serialize_steps()).encode()).hexdigest()
-            attempt = self._next_attempt(key)
+            attempt = self._next_attempt(self._transient_draws, self._program_key(inp))
             rng = _program_rng(inp, self.seed, f"run/{attempt}")
             if rng.random() < self.run_error_prob:
                 return (
@@ -396,6 +415,12 @@ class RandomFaults(FaultModel):
                     f"FaultModel: transient device error (attempt {attempt})",
                 )
         return None
+
+    @staticmethod
+    def _program_key(inp: MeasureInput) -> str:
+        # Digest key: a long session measures many distinct programs, and
+        # full step reprs would retain multi-KB strings per program.
+        return hashlib.sha256(repr(inp.state.serialize_steps()).encode()).hexdigest()
 
     def cost_scale(self, inp: MeasureInput, repeats: int) -> Optional[np.ndarray]:
         if self.extra_noise <= 0:
@@ -834,6 +859,13 @@ class MeasureSession:
     async-overlap benchmark (``benchmarks/test_measure_throughput.py``)
     turns to make device latency dominate.
 
+    It also accepts a *callable* ``(MeasureResult) -> seconds``, given the
+    whole merged result of a trial (all attempts).  That lets a harness
+    model non-uniform occupancy — e.g. the fleet-resilience benchmark
+    charges a faulted attempt the board's full hang-until-watchdog cost by
+    reading the result's per-attempt ledger — where the plain float charges
+    every attempt the same flat latency.
+
     A session is not re-entrant across pipelines, and two sessions over the
     same pipeline must not run concurrently with direct ``measure()`` calls
     from other threads except through the pipeline lock they share.
@@ -844,10 +876,10 @@ class MeasureSession:
         pipeline: "MeasurePipeline",
         async_: bool = False,
         n_workers: Optional[int] = None,
-        measure_latency_sec: float = 0.0,
+        measure_latency_sec: Union[float, Callable[["MeasureResult"], float]] = 0.0,
     ):
-        if measure_latency_sec < 0:
-            raise ValueError("measure_latency_sec must be >= 0")
+        if not callable(measure_latency_sec) and measure_latency_sec < 0:
+            raise ValueError("measure_latency_sec must be >= 0 (or a callable)")
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1 (or None for the default)")
         self.pipeline = pipeline
@@ -1024,6 +1056,14 @@ class MeasureSession:
                     raise TimeoutError(f"measurement of {fut.input!r} did not complete in {timeout}s")
                 self._done_cond.wait(wait_for)
 
+    def _latency_for(self, result: MeasureResult) -> float:
+        """Emulated device-occupancy sleep for one trial: the flat latency
+        charged per attempt, or whatever a callable knob says about the
+        merged result (clamped to >= 0)."""
+        if callable(self.measure_latency_sec):
+            return max(0.0, float(self.measure_latency_sec(result)))
+        return self.measure_latency_sec * (1 + result.retry_count)
+
     def _process_pending(self) -> None:
         """Sync mode: measure everything queued as ONE batch through the
         classic pipeline path (bit-identical to the historical behaviour:
@@ -1035,11 +1075,12 @@ class MeasureSession:
         if not batch:
             return
         results = self.pipeline._measure_batch([f.input for f in batch])
-        if self.measure_latency_sec > 0:
+        if callable(self.measure_latency_sec) or self.measure_latency_sec > 0:
             # The emulated device is serial in sync mode: every run attempt
             # occupies it back to back.
-            attempts = sum(1 + res.retry_count for res in results)
-            time.sleep(self.measure_latency_sec * attempts)
+            delay = sum(self._latency_for(res) for res in results)
+            if delay > 0:
+                time.sleep(delay)
         with self._lock:
             for fut, res in zip(batch, results):
                 fut._result = res
@@ -1074,11 +1115,13 @@ class MeasureSession:
                 result = self.pipeline._measure_streamed(fut.input)
             except BaseException as exc:  # surfaced through fut.result()
                 exception = exc
-            if result is not None and self.measure_latency_sec > 0:
+            if result is not None:
                 # Device occupancy: every attempt (initial + retries) held
                 # the board for the emulated latency.  Slept outside any
                 # lock so workers genuinely overlap device time.
-                time.sleep(self.measure_latency_sec * (1 + result.retry_count))
+                delay = self._latency_for(result)
+                if delay > 0:
+                    time.sleep(delay)
             with self._lock:
                 self._inflight -= 1
                 fut._result = result
@@ -1118,6 +1161,7 @@ class MeasurePipeline:
         measure_latency_sec: float = 0.0,
         fault_model: Optional[FaultModel] = None,
         n_retry: int = 0,
+        retry_timeouts: bool = False,
         async_measure: bool = False,
     ):
         if n_retry < 0:
@@ -1163,6 +1207,13 @@ class MeasurePipeline:
         #: how many times a RUN_ERROR (transient device fault) is re-run
         #: before the trial is given up (0 = the old fail-fast behaviour)
         self.n_retry = n_retry
+        #: whether the retry policy also covers RUN_TIMEOUT results: off by
+        #: default because a deterministic timeout (the program really is
+        #: slower than the budget) would burn every retry; turn it on for
+        #: pools whose timeouts are transient device behaviour (thermal
+        #: stalls, hung boards) — the retry re-dispatches, so it can land on
+        #: a faster or healthier device and genuinely recover
+        self.retry_timeouts = retry_timeouts
         #: default mode for sessions opened via :meth:`session` — True means
         #: drivers (Tuner / SearchPolicy.tune / TaskScheduler.tune) overlap
         #: candidate generation with measurement through an async session
@@ -1220,22 +1271,33 @@ class MeasurePipeline:
         runner = options.runner
         if isinstance(runner, str):
             runner_kwargs = {"seed": seed, "timeout": options.run_timeout}
-            if options.devices is not None:
-                # Only device-aware runner factories (e.g. "rpc") take the
-                # profile list; picking a device-blind one with devices set
-                # must error, not silently measure on an averaged machine.
-                runner_kwargs["devices"] = options.devices
+            # Only device-aware runner factories (e.g. "rpc") take the pool
+            # knobs; picking a device-blind one with any of them set must
+            # error, not silently measure on an averaged machine.
+            pool_knobs = ("devices", "dispatch", "circuit_breaker")
+            for knob in pool_knobs:
+                value = getattr(options, knob)
+                if value is not None:
+                    runner_kwargs[knob] = value
             try:
                 runner = resolve_runner(runner)(hardware, **runner_kwargs)
             except TypeError as exc:
                 # Translate only the precise "factory is device-blind" case;
                 # any other TypeError (e.g. a malformed device entry) must
                 # surface as itself, not as a misleading runner complaint.
-                if "unexpected keyword argument 'devices'" not in str(exc):
+                blind = next(
+                    (
+                        knob
+                        for knob in pool_knobs
+                        if f"unexpected keyword argument {knob!r}" in str(exc)
+                    ),
+                    None,
+                )
+                if blind is None:
                     raise
                 raise ValueError(
-                    f"runner {options.runner!r} does not accept device "
-                    "profiles (TuningOptions.devices); select a device-aware "
+                    f"runner {options.runner!r} does not accept device-pool "
+                    f"options (TuningOptions.{blind}); select a device-aware "
                     "runner such as 'rpc'"
                 ) from None
         else:
@@ -1245,12 +1307,13 @@ class MeasurePipeline:
                     "would be silently ignored; configure the runner instance "
                     "directly or select a runner by name"
                 )
-            if options.devices is not None:
-                raise ValueError(
-                    "TuningOptions.runner is a ready instance, so devices "
-                    "would be silently ignored; configure the runner instance "
-                    "directly or select a runner by name"
-                )
+            for knob in ("devices", "dispatch", "circuit_breaker"):
+                if getattr(options, knob) is not None:
+                    raise ValueError(
+                        f"TuningOptions.runner is a ready instance, so {knob} "
+                        "would be silently ignored; configure the runner "
+                        "instance directly or select a runner by name"
+                    )
             # A ready runner is pinned to one machine model; building "for"
             # different hardware with it would silently measure on the wrong
             # machine (the tasks[0] bug this pipeline exists to prevent).
@@ -1266,6 +1329,7 @@ class MeasurePipeline:
             builder=builder,
             runner=runner,
             n_retry=options.n_retry,
+            retry_timeouts=options.retry_timeouts,
             async_measure=options.async_measure,
         )
 
@@ -1295,7 +1359,7 @@ class MeasurePipeline:
         self,
         async_: Optional[bool] = None,
         n_workers: Optional[int] = None,
-        measure_latency_sec: float = 0.0,
+        measure_latency_sec: Union[float, Callable[[MeasureResult], float]] = 0.0,
     ) -> MeasureSession:
         """Open a :class:`MeasureSession` over this pipeline.
 
@@ -1384,18 +1448,26 @@ class MeasurePipeline:
         build_results: Sequence[BuildResult],
         results: List[MeasureResult],
     ) -> None:
-        """Re-run RUN_ERROR results in place, up to ``n_retry`` attempts each.
+        """Re-run transiently failed results in place, up to ``n_retry``
+        attempts each.  A ``RUN_ERROR`` is always transient; a
+        ``RUN_TIMEOUT`` joins the retry set only with
+        :attr:`retry_timeouts` on.
 
-        Only the run stage repeats — the build succeeded (a ``RUN_ERROR`` is
-        a device-side fault), so the lowered program is reused.  Attempts
+        Only the run stage repeats — the build succeeded (these are
+        device-side faults), so the lowered program is reused.  Attempts
         merge into the original result slot: ``retry_count`` counts the
-        re-runs and ``elapsed_sec`` accumulates across attempts, so one
+        re-runs, ``elapsed_sec`` accumulates across attempts, and the
+        per-attempt device ledger (``attempts``) concatenates, so one
         retried program stays one trial everywhere downstream (cost-model
-        training, records, the budget)."""
+        training, records, the budget) while every attempt stays
+        attributable to the device that ran it."""
+        retryable = {MeasureErrorNo.RUN_ERROR}
+        if self.retry_timeouts:
+            retryable.add(MeasureErrorNo.RUN_TIMEOUT)
         for _ in range(self.n_retry):
             retry_idx = [
                 i for i, res in enumerate(results)
-                if res.error_no == MeasureErrorNo.RUN_ERROR
+                if res.error_kind in retryable
             ]
             if not retry_idx:
                 return
@@ -1409,6 +1481,7 @@ class MeasurePipeline:
                 # (run_one charges it on every path); the build executed
                 # once, so count it once when accumulating across attempts.
                 res.elapsed_sec += results[i].elapsed_sec - build_results[i].elapsed_sec
+                res.attempts = results[i].attempts + res.attempts
                 results[i] = res
 
     def measure_one(self, inp: MeasureInput) -> MeasureResult:

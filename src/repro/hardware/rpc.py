@@ -18,10 +18,17 @@ builder/runner registries of :mod:`repro.hardware.measure`:
   every run is dispatched to one of a set of named devices, each described
   by a :class:`DeviceProfile` — its own measurement noise, transient-fault
   and timeout rates, queue latency, and relative slowdown — instead of
-  averaging the fleet's behaviour into one synthetic machine.  Dispatch is
-  ``"round-robin"`` (the default) or ``"least-loaded"`` (by simulated busy
-  seconds).  :meth:`RpcRunner.device_stats` reports per-device runs, errors
-  and busy time.
+  averaging the fleet's behaviour into one synthetic machine.  The pool is
+  managed by a :class:`~repro.hardware.fleet.DeviceFleet`: dispatch is
+  ``"round-robin"`` (the default), ``"least-loaded"`` (by simulated busy
+  seconds plus the estimated fault-rate waste) or ``"affinity"`` (sticky
+  workload→device rendezvous hashing); an optional circuit breaker
+  (``circuit_breaker=True`` or a
+  :class:`~repro.hardware.fleet.CircuitBreakerConfig`) quarantines, probes
+  and re-admits or ejects misbehaving boards; and
+  :meth:`RpcRunner.add_device` / :meth:`RpcRunner.remove_device` change
+  membership mid-session.  :meth:`RpcRunner.device_stats` reports per-device
+  runs, errors, busy time, breaker state and the live estimated profile.
 
 With a single default-profile device and no faults, the rpc runner is
 bit-identical to the local runner (same hash-seeded noise, same simulator),
@@ -54,15 +61,20 @@ default-profile devices).
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import threading
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .fleet import (
+    CircuitBreakerConfig,
+    DeviceFleet,
+    DeviceLike,
+    DeviceProfile,
+    _device_seed,
+)
 from .measure import (
     BuildResult,
     FaultModel,
@@ -78,96 +90,6 @@ from .measure import (
 from .platform import HardwareParams
 
 __all__ = ["DeviceProfile", "RpcBuilder", "RpcRunner"]
-
-
-@dataclass(frozen=True)
-class DeviceProfile:
-    """One named device of an :class:`RpcRunner` pool.
-
-    The default profile is a perfectly behaved clone of the local runner's
-    device; every field models one way a real board deviates:
-
-    * ``noise`` — per-device run-to-run noise level (``None`` = the runner's
-      default).
-    * ``run_error_prob`` / ``run_timeout_prob`` — per-run probability of a
-      transient ``RUN_ERROR`` (retryable) / an injected ``RUN_TIMEOUT``.
-    * ``extra_noise`` — extra multiplicative timing jitter (a flaky board).
-    * ``queue_latency_sec`` — simulated per-run dispatch/queue cost, charged
-      to the result's elapsed accounting and to the device's busy time (it
-      is not slept).
-    * ``slowdown`` — relative device speed: measured costs scale by this
-      factor (1.5 = 50% slower than the machine model), and a slow device
-      hits the run timeout earlier, as it would in reality.
-    """
-
-    name: str
-    noise: Optional[float] = None
-    run_error_prob: float = 0.0
-    run_timeout_prob: float = 0.0
-    extra_noise: float = 0.0
-    queue_latency_sec: float = 0.0
-    slowdown: float = 1.0
-
-    def __post_init__(self) -> None:
-        if not self.name:
-            raise ValueError("DeviceProfile needs a non-empty name")
-        for field_name in ("run_error_prob", "run_timeout_prob"):
-            p = getattr(self, field_name)
-            if not 0.0 <= p <= 1.0:
-                raise ValueError(f"{field_name} must be in [0, 1], got {p}")
-        if self.noise is not None and self.noise < 0:
-            raise ValueError("noise must be >= 0 (or None for the runner default)")
-        if self.extra_noise < 0 or self.queue_latency_sec < 0:
-            raise ValueError("extra_noise / queue_latency_sec must be >= 0")
-        if self.slowdown <= 0:
-            raise ValueError("slowdown must be positive")
-
-    @property
-    def has_faults(self) -> bool:
-        return (
-            self.run_error_prob > 0
-            or self.run_timeout_prob > 0
-            or self.extra_noise > 0
-        )
-
-
-DeviceLike = Union[DeviceProfile, str, dict]
-
-
-def _normalize_devices(
-    devices: Union[None, int, Sequence[DeviceLike]],
-) -> Tuple[DeviceProfile, ...]:
-    """Accept profiles, names, dicts, a count, or None (one default device)."""
-    if devices is None:
-        return (DeviceProfile("dev0"),)
-    if isinstance(devices, int):
-        if devices < 1:
-            raise ValueError("device count must be >= 1")
-        return tuple(DeviceProfile(f"dev{i}") for i in range(devices))
-    profiles: List[DeviceProfile] = []
-    for dev in devices:
-        if isinstance(dev, DeviceProfile):
-            profiles.append(dev)
-        elif isinstance(dev, str):
-            profiles.append(DeviceProfile(dev))
-        elif isinstance(dev, dict):
-            profiles.append(DeviceProfile(**dev))
-        else:
-            raise TypeError(
-                f"device must be a DeviceProfile, name, or dict; got {dev!r}"
-            )
-    if not profiles:
-        raise ValueError("RpcRunner needs at least one device")
-    names = [p.name for p in profiles]
-    if len(set(names)) != len(names):
-        raise ValueError(f"duplicate device names: {names}")
-    return tuple(profiles)
-
-
-def _device_seed(seed: int, name: str) -> int:
-    """A stable per-device fault seed (``hash()`` is salted per process)."""
-    digest = hashlib.sha256(f"{seed}/{name}".encode()).digest()
-    return int.from_bytes(digest[:4], "little")
 
 
 class _CompositeFaults(FaultModel):
@@ -259,10 +181,21 @@ class _DeviceRunner(LocalRunner):
 class RpcRunner(ProgramRunner):
     """Run built programs on a pool of named, individually profiled devices.
 
-    Each run is dispatched to one device (``dispatch="round-robin"`` or
-    ``"least-loaded"``); the device's :class:`DeviceProfile` decides noise,
-    fault injection, queue latency and slowdown.  Build failures never reach
-    a device (they are reported straight through, as in the local runner).
+    Each run is dispatched to one device (``dispatch="round-robin"``,
+    ``"least-loaded"`` or ``"affinity"``); the device's
+    :class:`DeviceProfile` decides noise, fault injection, queue latency and
+    slowdown.  Build failures never reach a device (they are reported
+    straight through, as in the local runner).
+
+    The pool itself — dispatch, per-device fault-profile estimation, the
+    optional circuit breaker, and elastic membership — lives in
+    :attr:`fleet` (a :class:`~repro.hardware.fleet.DeviceFleet`);
+    :meth:`add_device`, :meth:`remove_device`, :meth:`inject_profile` and
+    :meth:`device_stats` delegate to it.  Every
+    :class:`~repro.hardware.measure.MeasureResult` is stamped with the name
+    of the device that ran its final attempt (``result.device``) plus a
+    per-attempt ledger (``result.attempts``), so downstream consumers —
+    records, sessions, the fleet benchmark — can attribute costs exactly.
     """
 
     def __init__(
@@ -275,43 +208,66 @@ class RpcRunner(ProgramRunner):
         seed: int = 0,
         timeout: Optional[float] = None,
         fault_model: Optional[FaultModel] = None,
+        circuit_breaker: Union[None, bool, dict, CircuitBreakerConfig] = None,
     ):
-        if dispatch not in ("round-robin", "least-loaded"):
-            raise ValueError(
-                f"unknown dispatch {dispatch!r}; use 'round-robin' or 'least-loaded'"
-            )
         self.hardware = hardware
-        self.devices = _normalize_devices(devices)
-        self.dispatch = dispatch
         self.noise = noise
         self.repeats = repeats
         self.seed = seed
         self.timeout = timeout
-        self._runners = [
-            _DeviceRunner(hardware, profile, noise, repeats, seed, timeout, fault_model)
-            for profile in self.devices
-        ]
-        self._cursor = 0
-        #: simulated busy seconds per device (queue latency + measured costs)
-        self._load = [0.0] * len(self.devices)
-        self._stats: Dict[str, Dict[str, float]] = {
-            profile.name: {"runs": 0, "errors": 0, "busy_sec": 0.0}
-            for profile in self.devices
-        }
+        self.fleet = DeviceFleet(
+            devices,
+            lambda profile: _DeviceRunner(
+                hardware, profile, noise, repeats, seed, timeout, fault_model
+            ),
+            dispatch=dispatch,
+            circuit_breaker=circuit_breaker,
+            repeats=repeats,
+        )
+        # The reference device: serves failed builds (profile-independent —
+        # no fault draw, no queue charge) and estimates the slowdown-free
+        # clean runtime the fleet's estimators compare devices against.
+        self._reference = LocalRunner(
+            hardware,
+            noise=noise,
+            repeats=repeats,
+            seed=seed,
+            timeout=timeout,
+            fault_model=fault_model,
+        )
 
     # -- MeasurePipeline compat accessors --------------------------------
     @property
     def simulator(self):
-        return self._runners[0].simulator
+        return self._reference.simulator
+
+    @property
+    def dispatch(self) -> str:
+        return self.fleet.dispatch
+
+    @property
+    def devices(self) -> Tuple[DeviceProfile, ...]:
+        return self.fleet.devices
+
+    # -- elastic-pool passthroughs ---------------------------------------
+    def add_device(self, device: DeviceLike) -> DeviceProfile:
+        """Join a device to the pool mid-session (see
+        :meth:`~repro.hardware.fleet.DeviceFleet.add_device`)."""
+        return self.fleet.add_device(device)
+
+    def remove_device(
+        self, name: str, drain: bool = True, timeout: Optional[float] = None
+    ) -> Dict[str, float]:
+        """Remove a device, by default draining its in-flight runs (see
+        :meth:`~repro.hardware.fleet.DeviceFleet.remove_device`)."""
+        return self.fleet.remove_device(name, drain=drain, timeout=timeout)
+
+    def inject_profile(self, name: str, **overrides) -> DeviceProfile:
+        """Degrade/repair a device's actual behaviour mid-session (see
+        :meth:`~repro.hardware.fleet.DeviceFleet.inject_profile`)."""
+        return self.fleet.inject_profile(name, **overrides)
 
     # ------------------------------------------------------------------
-    def _pick_device(self) -> int:
-        if self.dispatch == "round-robin":
-            index = self._cursor % len(self._runners)
-            self._cursor += 1
-            return index
-        return min(range(len(self._runners)), key=lambda i: self._load[i])
-
     def run(
         self, inputs: Sequence[MeasureInput], build_results: Sequence[BuildResult]
     ) -> List[MeasureResult]:
@@ -320,37 +276,33 @@ class RpcRunner(ProgramRunner):
             if not build.ok:
                 # A failed build never occupies a device: report it straight
                 # through without advancing dispatch or device stats.
-                results.append(self._runners[0].run_one(inp, build))
+                results.append(self._reference.run_one(inp, build))
                 continue
-            index = self._pick_device()
-            result = self._runners[index].run_one(inp, build)
-            profile = self.devices[index]
-            busy = profile.queue_latency_sec + self._occupation(index, inp, build, result)
-            self._load[index] += busy
-            stats = self._stats[profile.name]
-            stats["runs"] += 1
-            stats["busy_sec"] += busy
-            if not result.valid:
-                stats["errors"] += 1
+            ticket = self.fleet.acquire(inp)
+            device = ticket.device
+            result = device.runner.run_one(inp, build)
+            try:
+                clean_base = self._reference._estimate_base(inp, build)
+            except Exception:
+                clean_base = None
+            occupancy = self.fleet.record(ticket, inp, build, result, clean_base)
+            result.device = device.name
+            result.attempts = list(result.attempts) + [
+                {
+                    "device": device.name,
+                    "error_no": int(result.error_no),
+                    "occupancy_sec": occupancy,
+                    "canary": ticket.canary,
+                }
+            ]
             results.append(result)
         return results
 
-    def _occupation(self, index, inp, build, result) -> float:
-        """Simulated seconds a run occupied its device.  A faulted run still
-        held the device for about the program's runtime — charging it zero
-        would make least-loaded dispatch treat a permanently failing board
-        as 'free' and funnel every run (and every retry) into it."""
-        if result.valid:
-            return sum(result.costs)
-        try:
-            base = self._runners[index]._estimate_base(inp, build)
-        except Exception:
-            return 0.0
-        return base * self.repeats
-
     def device_stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-device ``{"runs", "errors", "busy_sec"}`` counters."""
-        return {name: dict(stats) for name, stats in self._stats.items()}
+        """Per-device counters (classic ``runs`` / ``errors`` / ``busy_sec``
+        plus breaker state and the live estimated profile — see
+        :meth:`~repro.hardware.fleet.DeviceFleet.device_stats`)."""
+        return self.fleet.device_stats()
 
 
 def _build_in_worker(builder: "RpcBuilder", inp: MeasureInput) -> BuildResult:

@@ -6,10 +6,11 @@ without re-searching.  A record stores the workload key, the target name,
 the program's full transform-step history, the measured costs, and — since
 measurement became a builder/runner pipeline — the machine-readable error
 kind (:class:`~repro.hardware.measure.MeasureErrorNo`), the wall-clock the
-pipeline spent on the candidate, and how many transient-fault retries the
-run stage needed (``retry_count``), so failed trials are resumable and
-plottable (error-rate curves, time-per-trial, retry rates) rather than
-opaque strings.
+pipeline spent on the candidate, how many transient-fault retries the
+run stage needed (``retry_count``), and — for device-pool runners — which
+device executed the standing attempt (``device``), so failed trials are
+resumable and plottable (error-rate curves, time-per-trial, retry rates,
+per-board health) rather than opaque strings.
 
 Legacy logs load unchanged: lines without an ``error_no`` field derive it
 from the error string (``UNKNOWN_ERROR`` when one is present, ``NO_ERROR``
@@ -73,6 +74,7 @@ class TuningRecord:
     error_no: int = MeasureErrorNo.NO_ERROR
     elapsed_sec: float = 0.0
     retry_count: int = 0
+    device: Optional[str] = None
     timestamp: float = 0.0
 
     def __post_init__(self) -> None:
@@ -92,6 +94,7 @@ class TuningRecord:
             error_no=int(res.error_no),
             elapsed_sec=res.elapsed_sec,
             retry_count=int(getattr(res, "retry_count", 0)),
+            device=getattr(res, "device", None),
             timestamp=res.timestamp or time.time(),
         )
 
@@ -106,6 +109,7 @@ class TuningRecord:
             "error_no": int(self.error_no),
             "elapsed_sec": self.elapsed_sec,
             "retry_count": self.retry_count,
+            "device": self.device,
             "timestamp": self.timestamp,
         }
 
@@ -123,6 +127,7 @@ class TuningRecord:
             error_no=int(data.get("error_no", MeasureErrorNo.NO_ERROR)),
             elapsed_sec=float(data.get("elapsed_sec", 0.0)),
             retry_count=int(data.get("retry_count", 0)),
+            device=data.get("device"),
             timestamp=data.get("timestamp", 0.0),
         )
 

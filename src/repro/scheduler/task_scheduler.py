@@ -315,6 +315,33 @@ class TaskScheduler:
         """Total failed trials across this scheduler's measurement pipelines."""
         return sum(m.error_count for m in {id(m): m for m in self.measurers}.values())
 
+    def device_stats(self) -> Dict[str, Dict[str, float]]:
+        """Merged per-device counters across every device-pool runner this
+        scheduler drives (see
+        :meth:`~repro.hardware.fleet.DeviceFleet.device_stats`).  Pipelines
+        are deduplicated (tasks on the same hardware share one), and a
+        device name serving several pools reports under
+        ``"<runner-index>/<name>"`` so fleet health stays attributable.
+        Device-blind runners contribute nothing."""
+        merged: Dict[str, Dict[str, float]] = {}
+        pipelines = list({id(m): m for m in self.measurers}.values())
+        multiple = (
+            sum(
+                1
+                for m in pipelines
+                if callable(getattr(m.runner, "device_stats", None))
+            )
+            > 1
+        )
+        for index, pipeline in enumerate(pipelines):
+            stats_fn = getattr(pipeline.runner, "device_stats", None)
+            if not callable(stats_fn):
+                continue
+            for name, entry in stats_fn().items():
+                key = f"{index}/{name}" if multiple else name
+                merged[key] = entry
+        return merged
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------

@@ -15,8 +15,8 @@ from .hardware.platform import HardwareParams, intel_cpu
 from .te.dag import ComputeDAG
 
 if TYPE_CHECKING:  # pragma: no cover - types only (avoid an import cycle)
+    from .hardware.fleet import CircuitBreakerConfig, DeviceLike
     from .hardware.measure import ProgramBuilder, ProgramRunner
-    from .hardware.rpc import DeviceLike
     from .store import ScheduleStore
 
 __all__ = ["SearchTask", "TuningOptions", "split_workload_key"]
@@ -126,11 +126,28 @@ class TuningOptions:
     #: how many times a transient RUN_ERROR is re-run before the trial is
     #: given up (the paper's flaky-device retry; 0 = fail fast)
     n_retry: int = 0
+    #: extend the retry policy to RUN_TIMEOUT results too: off by default
+    #: (a deterministic timeout — the program really exceeds the budget —
+    #: would burn every retry), on for pools whose timeouts are transient
+    #: device behaviour (thermal stalls, hung boards); the retry
+    #: re-dispatches, so it can recover on a healthier or faster device
+    retry_timeouts: bool = False
     #: device pool for a device-aware runner such as ``"rpc"``: a sequence
-    #: of :class:`~repro.hardware.rpc.DeviceProfile` / names / dicts, or an
-    #: int (that many default devices); None = the runner's single default
-    #: device.  Rejected when the selected runner is device-blind.
+    #: of :class:`~repro.hardware.fleet.DeviceProfile` / names / dicts, or
+    #: an int (that many default devices); None = the runner's single
+    #: default device.  Rejected when the selected runner is device-blind.
     devices: "Optional[Union[int, Sequence[DeviceLike]]]" = None
+    #: device-pool dispatch policy for a device-aware runner:
+    #: ``"round-robin"``, ``"least-loaded"`` (busy-seconds plus the
+    #: estimated fault-rate waste) or ``"affinity"`` (sticky
+    #: workload→device rendezvous hashing); None = the runner's default.
+    #: Rejected when the selected runner is device-blind.
+    dispatch: Optional[str] = None
+    #: circuit breaker for a device-aware runner: ``True`` enables the
+    #: default :class:`~repro.hardware.fleet.CircuitBreakerConfig`, a dict
+    #: or config instance overrides it, None leaves the breaker off.
+    #: Rejected when the selected runner is device-blind.
+    circuit_breaker: "Optional[Union[bool, dict, CircuitBreakerConfig]]" = None
     #: overlap candidate generation with hardware measurement: drivers run
     #: each round through an asynchronous
     #: :class:`~repro.hardware.measure.MeasureSession` and breed round *k+1*
@@ -167,5 +184,14 @@ class TuningOptions:
             raise ValueError("run_timeout must be positive (or None to disable)")
         if self.n_retry < 0:
             raise ValueError("n_retry must be >= 0")
+        if self.dispatch is not None and self.dispatch not in (
+            "round-robin",
+            "least-loaded",
+            "affinity",
+        ):
+            raise ValueError(
+                f"unknown dispatch {self.dispatch!r}; use 'round-robin', "
+                "'least-loaded' or 'affinity' (or None for the runner default)"
+            )
         if self.store_min_trials < 0:
             raise ValueError("store_min_trials must be >= 0")

@@ -62,7 +62,10 @@ _MEASURE_PIPELINE_KNOBS = (
     "build_timeout",
     "run_timeout",
     "n_retry",
+    "retry_timeouts",
     "devices",
+    "dispatch",
+    "circuit_breaker",
 )
 
 

@@ -32,6 +32,27 @@ with ``make profile``.  Every fast path is bit-compatible with the per-row
 reference (``predict_rowwise``, ``extract_program_features(use_cache=False)``),
 enforced by ``tests/cost_model/test_predict_parity.py``.
 
+The evolutionary loop itself parallelizes as an *island model*:
+``TuningOptions(search_workers=N)`` (threaded to
+``SketchPolicy(search_workers=...)``) shards each round's population into N
+independent sub-populations with per-island seeded RNG streams, ring elite
+migration every ``migration_interval`` generations (migrants carry their
+scores, so they are never re-predicted), and a final merge deduplicated by
+``State.fingerprint()``.  Islands run in a lazily created, reused worker
+process pool (:class:`repro.utils.procpool.LazyProcessPool`, the machinery
+shared with the rpc builder) on multi-core hosts and in-process on
+single-core ones; inside each island the per-offspring breeding decisions
+(mutation-vs-crossover coins, parent selection, operator choice) are drawn
+as population-sized NumPy batches instead of scalar draws.
+``search_workers=1`` (the default) is the serial loop, bit-identical to
+earlier releases; a given ``(seed, search_workers)`` pair is deterministic,
+and with a trained (deterministic) cost model pooled and in-process islands
+return identical results.  The tracked baseline is the ``parallel_search``
+stage of ``benchmarks/test_search_throughput.py`` (``make search-parallel``),
+which gates >= 2x states/sec over the serial loop on multi-core hosts
+(>= 0.8x single-core) plus the serial-parity flags; profile the island path
+with ``make profile`` / ``benchmarks/profile_search.py --workers N``.
+
 Measurement is a two-stage builder/runner pipeline
 (:class:`repro.hardware.measure.MeasurePipeline`): builders lower candidates
 in a thread pool (``TuningOptions.n_parallel``) with per-candidate timeouts,

@@ -62,11 +62,11 @@ default-profile devices).
 from __future__ import annotations
 
 import itertools
-import threading
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..utils.procpool import LazyProcessPool
 
 from .fleet import (
     CircuitBreakerConfig,
@@ -316,7 +316,9 @@ class RpcBuilder(LocalBuilder):
     lowering, which the thread-pool :class:`LocalBuilder` serializes on the
     GIL.
 
-    The pool is created lazily on the first parallel batch and reused across
+    The pool discipline lives in :class:`~repro.utils.procpool.LazyProcessPool`
+    (extracted from this class so island-model evolutionary search shares
+    it): created lazily on the first parallel batch and reused across
     batches (worker start-up is paid once per session, and each worker keeps
     its own warm lowering cache).  Per-candidate timeout semantics are
     inherited from :class:`LocalBuilder`: the bound applies to the
@@ -342,28 +344,9 @@ class RpcBuilder(LocalBuilder):
             build_cpu_sec=build_cpu_sec,
             fault_model=fault_model,
         )
-        self._pool: Optional[ProcessPoolExecutor] = None
-        # Async MeasureSession workers dispatch single builds concurrently;
-        # pool creation/teardown must be race-free across those threads.
-        self._pool_lock = threading.Lock()
-
-    # The builder itself is pickled to the workers; the pool handle (and its
-    # lock, which is unpicklable) must not travel with it.
-    def __getstate__(self):
-        state = self.__dict__.copy()
-        state["_pool"] = None
-        state["_pool_lock"] = None
-        return state
-
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self._pool_lock = threading.Lock()
-
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.n_parallel)
-            return self._pool
+        # Pickle-safe (the builder itself is shipped to its workers): the
+        # executor handle never travels, the clone arrives pool-less.
+        self._pool = LazyProcessPool(max_workers=n_parallel)
 
     def build(self, inputs: Sequence[MeasureInput]) -> List[BuildResult]:
         if not inputs:
@@ -371,15 +354,12 @@ class RpcBuilder(LocalBuilder):
         if self.n_parallel <= 1 or len(inputs) == 1:
             results = [self.build_one(inp) for inp in inputs]
         else:
-            try:
-                results = list(
-                    self._ensure_pool().map(
-                        _build_in_worker, itertools.repeat(self), inputs
-                    )
-                )
-            except Exception:
-                self.close()
-                results = [self.build_one(inp) for inp in inputs]
+            results = self._pool.map(
+                _build_in_worker,
+                itertools.repeat(self),
+                inputs,
+                fallback=lambda: [self.build_one(inp) for inp in inputs],
+            )
         return [self._apply_timeout(result) for result in results]
 
     def build_one_dispatch(self, inp: MeasureInput) -> BuildResult:
@@ -394,22 +374,11 @@ class RpcBuilder(LocalBuilder):
         """
         if self.n_parallel <= 1:
             return self._apply_timeout(self.build_one(inp))
-        try:
-            result = self._ensure_pool().submit(_build_in_worker, self, inp).result()
-        except Exception:
-            self.close()
-            result = self.build_one(inp)
+        result = self._pool.run_one(
+            _build_in_worker, self, inp, fallback=lambda: self.build_one(inp)
+        )
         return self._apply_timeout(result)
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; a later batch restarts it)."""
-        with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown()
-                self._pool = None
-
-    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
-        try:
-            self.close()
-        except Exception:
-            pass
+        self._pool.close()

@@ -10,6 +10,7 @@ and what node-based crossover recombines.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..te.dag import ComputeDAG
@@ -218,17 +219,21 @@ class State:
         return [step.to_dict() for step in self.transform_steps]
 
     def fingerprint(self) -> str:
-        """A stable identity of the program: its serialized step history.
+        """A stable identity of the program: a digest of its step history.
 
         States reached through the same step sequence on the same DAG lower
         to the same program, so this string keys the lowering / feature /
-        score caches and the search-level dedup sets.  It is computed once
-        and invalidated whenever a step is appended; steps themselves must
-        never be mutated in place on a live state (the evolution operators
-        always copy steps before editing, and replay the copies).
+        score caches and the search-level dedup sets.  It is a fixed-width
+        hex digest (not the raw serialized steps) so the fingerprint-keyed
+        score caches that island workers ship between processes stay small.
+        It is computed once and invalidated whenever a step is appended;
+        steps themselves must never be mutated in place on a live state (the
+        evolution operators always copy steps before editing, and replay
+        the copies).
         """
         if self._fingerprint is None:
-            self._fingerprint = repr(self.serialize_steps())
+            serialized = repr(self.serialize_steps())
+            self._fingerprint = hashlib.sha1(serialized.encode()).hexdigest()
         return self._fingerprint
 
     # ------------------------------------------------------------------

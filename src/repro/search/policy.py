@@ -165,6 +165,16 @@ class SearchPolicy:
         therefore be driven through an async measurement session)."""
         return type(self).propose_candidates is not SearchPolicy.propose_candidates
 
+    def close(self) -> None:
+        """Release any resources the policy holds (worker pools, handles).
+
+        A no-op in the base class.  :class:`~repro.search.sketch_policy.
+        SketchPolicy` shuts down its island-search process pool here;
+        :class:`~repro.tuner.Tuner` closes the policies it created itself
+        once their session ends.  Closing must be idempotent, and a closed
+        policy may lazily recreate its resources if it is driven again.
+        """
+
     # ------------------------------------------------------------------
     def continue_search_one_round(
         self,

@@ -21,6 +21,7 @@ overlaps measuring round *k*.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,6 +30,7 @@ from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
 from ..hardware.measure import MeasureInput, MeasureResult
 from ..ir.state import State
 from ..task import SearchTask
+from ..utils.procpool import LazyProcessPool
 from .annotation import sample_initial_population
 from .evolutionary import EvolutionarySearch
 from .policy import SearchPolicy, register_policy
@@ -37,10 +39,6 @@ from .sketch_rules import SketchRule
 from .space import FULL_SPACE, SearchSpaceOptions
 
 __all__ = ["SketchPolicy"]
-
-
-def _state_key(state: State) -> str:
-    return state.fingerprint()
 
 
 @register_policy("sketch")
@@ -61,10 +59,15 @@ class SketchPolicy(SearchPolicy):
         retained_best: int = 12,
         schedule_store=None,
         warm_start_limit: int = 8,
+        search_workers: int = 1,
+        migration_interval: int = 1,
+        migration_k: int = 2,
         seed: int = 0,
         verbose: int = 0,
     ):
         super().__init__(task, seed=seed, verbose=verbose)
+        if search_workers < 1:
+            raise ValueError("search_workers must be >= 1")
         self.cost_model = cost_model if cost_model is not None else LearnedCostModel(seed=seed)
         self.space = space
         self.rules = rules
@@ -76,6 +79,18 @@ class SketchPolicy(SearchPolicy):
         self.retained_best = retained_best
         #: cap on store-seeded warm-start programs per session
         self.warm_start_limit = warm_start_limit
+        #: island-model parallelism of the evolutionary search: with
+        #: ``search_workers >= 2`` each round's evolution runs that many
+        #: islands with ring elite migration — in worker processes on a
+        #: multi-core host, in-process on a single-core one; 1 = the serial
+        #: loop, bit-identical to the pre-island search
+        self.search_workers = search_workers
+        self.migration_interval = migration_interval
+        self.migration_k = migration_k
+        #: the reused process pool behind the islands (lazily created on the
+        #: first evolved round of a multi-core host, shared across rounds;
+        #: stays None on single-core hosts — see :meth:`close`)
+        self._search_pool: Optional[LazyProcessPool] = None
         self._sketches: Optional[List[State]] = None
         self._measured_keys: set = set()
         #: (cost, state) of the best measured programs, kept for seeding evolution
@@ -137,7 +152,7 @@ class SketchPolicy(SearchPolicy):
                 state = entry.to_state(self.task)
             except Exception:
                 continue  # foreign sizes made the step history inapplicable
-            key = _state_key(state)
+            key = state.fingerprint()
             if key in seen or key in self._measured_keys:
                 continue
             seen.add(key)
@@ -162,17 +177,17 @@ class SketchPolicy(SearchPolicy):
         for state in ranked:
             if len(picked) >= n_best:
                 break
-            key = _state_key(state)
+            key = state.fingerprint()
             if key in self._measured_keys or key in seen:
                 continue
             seen.add(key)
             picked.append(state)
-        pool = [s for s in population if _state_key(s) not in self._measured_keys]
+        pool = [s for s in population if s.fingerprint() not in self._measured_keys]
         self.rng.shuffle(pool)
         for state in pool:
             if len(picked) >= num_measures:
                 break
-            key = _state_key(state)
+            key = state.fingerprint()
             if key in seen:
                 continue
             seen.add(key)
@@ -203,12 +218,26 @@ class SketchPolicy(SearchPolicy):
             return []
 
         if self.use_evolutionary_search:
+            if (
+                self.search_workers > 1
+                and self._search_pool is None
+                and (os.cpu_count() or 1) > 1
+            ):
+                # Host-adaptive: worker processes only pay off with real
+                # cores behind them.  On a single-core host the islands run
+                # in-process instead — same algorithm, same per-island RNG
+                # streams, none of the pool's IPC overhead.
+                self._search_pool = LazyProcessPool(max_workers=self.search_workers)
             evolution = EvolutionarySearch(
                 self.task,
                 self.cost_model,
                 space=self.space,
                 population_size=self.population_size,
                 num_generations=self.num_generations,
+                n_islands=self.search_workers,
+                migration_interval=self.migration_interval,
+                migration_k=self.migration_k,
+                pool=self._search_pool,
                 seed=int(self.rng.integers(0, 2**31 - 1)),
             )
             ranked = evolution.search(population, num_best=max(num_measures * 2, 16))
@@ -221,12 +250,12 @@ class SketchPolicy(SearchPolicy):
         if warm:
             # Pin the warm-start seeds to the front of the batch (dedup
             # against the evolved picks), budget permitting.
-            warm_keys = {_state_key(s) for s in warm}
+            warm_keys = {s.fingerprint() for s in warm}
             candidates = (
-                warm + [s for s in candidates if _state_key(s) not in warm_keys]
+                warm + [s for s in candidates if s.fingerprint() not in warm_keys]
             )[:num_measures]
         for state in candidates:
-            self._measured_keys.add(_state_key(state))
+            self._measured_keys.add(state.fingerprint())
         return candidates
 
     def ingest_results(
@@ -235,7 +264,7 @@ class SketchPolicy(SearchPolicy):
         """The learning half-round: elite pool, cost-model update, then the
         shared book-keeping (trials, best state, history)."""
         for inp, res in zip(inputs, results):
-            self._measured_keys.add(_state_key(inp.state))
+            self._measured_keys.add(inp.state.fingerprint())
             if res.valid:
                 self._best_measured.append((res.min_cost, inp.state))
         self._best_measured.sort(key=lambda pair: pair[0])
@@ -243,3 +272,17 @@ class SketchPolicy(SearchPolicy):
 
         self.cost_model.update(inputs, results)
         super().ingest_results(inputs, results)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the island-search worker pool (idempotent; the next
+        evolved round lazily recreates it if the policy is reused)."""
+        if self._search_pool is not None:
+            self._search_pool.close()
+            self._search_pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -32,6 +32,7 @@ Every session returns a structured :class:`TuningResult`::
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -67,6 +68,39 @@ _MEASURE_PIPELINE_KNOBS = (
     "dispatch",
     "circuit_breaker",
 )
+
+
+def _accepts_kwarg(factory, name: str) -> bool:
+    """Whether ``factory(...)`` can receive keyword argument ``name`` (a
+    named parameter or a ``**kwargs`` catch-all).  Unintrospectable callables
+    are assumed permissive."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins/extensions
+        return True
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD or param.name == name:
+            return True
+    return False
+
+
+def _search_worker_kwargs(factory, options: TuningOptions, existing: dict) -> dict:
+    """The ``search_workers`` kwarg for a policy factory, threaded from
+    ``TuningOptions(search_workers=...)``.
+
+    An explicit ``policy_kwargs`` entry wins; a factory that cannot accept
+    the knob raises (matching the "no silent swallowing" convention of the
+    measurement knobs) rather than quietly running serial."""
+    if options.search_workers == 1 or "search_workers" in existing:
+        return {}
+    if not _accepts_kwarg(factory, "search_workers"):
+        raise ValueError(
+            f"TuningOptions(search_workers={options.search_workers}) needs a "
+            "policy that accepts search_workers= (the 'sketch' policy does); "
+            f"{getattr(factory, '__name__', factory)!r} does not — drop the "
+            "option or pick a parallel-capable policy"
+        )
+    return {"search_workers": options.search_workers}
 
 
 def _non_default_measure_knobs(options: TuningOptions) -> List[str]:
@@ -141,7 +175,11 @@ class Tuner:
         factory ``(task, cost_model=..., seed=..., verbose=...) -> policy``.
     options:
         The shared :class:`~repro.task.TuningOptions` (trial budget, round
-        size, early stopping, seed, verbosity).
+        size, early stopping, seed, verbosity).  ``search_workers=N`` is
+        threaded to the policy factory and shards each search round's
+        evolution across ``N`` process-pool islands (parallel-capable
+        policies only; combining it with a ready policy instance, or a
+        factory that cannot accept it, raises).
     callbacks:
         :class:`~repro.callbacks.MeasureCallback` observers of every
         measured round.
@@ -261,12 +299,22 @@ class Tuner:
 
     def _make_policy(self, task: SearchTask) -> SearchPolicy:
         if isinstance(self.policy, SearchPolicy):
+            if self.options.search_workers != 1:
+                # Mirroring the measurer-knob conflict: a ready policy would
+                # silently ignore the option, so the conflict raises instead.
+                raise ValueError(
+                    f"TuningOptions(search_workers={self.options.search_workers}) "
+                    "cannot be applied to a ready SearchPolicy instance; "
+                    "configure the policy's search_workers directly or pass a "
+                    "policy name/factory"
+                )
             return self.policy
         factory = self._policy_factory()
         # policy_kwargs last: explicit user kwargs override the defaults
         # instead of raising "multiple values for keyword argument".
         kwargs = {"seed": self.options.seed, "verbose": self.options.verbose,
                   **self.policy_kwargs}
+        kwargs.update(_search_worker_kwargs(factory, self.options, kwargs))
         return factory(task, **kwargs)
 
     # ------------------------------------------------------------------
@@ -343,7 +391,13 @@ class Tuner:
         # caller-supplied (possibly pre-used) policy or measurer.
         trials_before = policy.num_trials
         errors_before = measurer.error_count
-        policy.tune(options, measurer, self._store_callbacks())
+        try:
+            policy.tune(options, measurer, self._store_callbacks())
+        finally:
+            if not isinstance(self.policy, SearchPolicy):
+                # The session owns policies it built itself; release their
+                # worker pools (a user-supplied instance may be reused).
+                policy.close()
         return TuningResult(
             tasks=[task],
             best_costs=[policy.best_cost],
@@ -378,6 +432,7 @@ class Tuner:
         def scheduler_factory(task, cost_model, seed):
             merged = {"cost_model": cost_model, "seed": seed,
                       "verbose": options.verbose, **kwargs}
+            merged.update(_search_worker_kwargs(factory, options, merged))
             policy = factory(task, **merged)
             if store is not None:
                 policy.bind_store(store)

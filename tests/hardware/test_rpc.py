@@ -372,16 +372,16 @@ def test_rpc_builder_serial_path_needs_no_pool(task, inputs):
     builder = RpcBuilder(n_parallel=1)
     results = builder.build(inputs[:2])
     assert all(r.ok for r in results)
-    assert builder._pool is None
+    assert not builder._pool.active
 
 
 def test_rpc_builder_pickles_without_pool_handle(inputs):
     builder = RpcBuilder(n_parallel=2)
     try:
         builder.build(inputs[:3])  # forces pool creation
-        assert builder._pool is not None
+        assert builder._pool.active
         clone = pickle.loads(pickle.dumps(builder))
-        assert clone._pool is None
+        assert not clone._pool.active
         assert clone.n_parallel == 2
     finally:
         builder.close()

@@ -72,9 +72,12 @@ def test_copy_carries_fingerprint_until_it_diverges():
     assert a.fingerprint() == fp  # the original is untouched
 
 
-def test_fingerprint_matches_serialized_steps():
+def test_fingerprint_is_digest_of_serialized_steps():
     state = fresh_state().split("C", 0, [8]).vectorize("D", 1)
-    assert state.fingerprint() == repr(state.serialize_steps())
+    import hashlib
+
+    expected = hashlib.sha1(repr(state.serialize_steps()).encode()).hexdigest()
+    assert state.fingerprint() == expected
 
 
 def test_placeholder_and_concrete_splits_differ():

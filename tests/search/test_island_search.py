@@ -1,0 +1,176 @@
+"""Island-model evolutionary search (parallel `search_workers`): determinism,
+serial parity, migration accounting, and the no-double-scoring contract."""
+
+import numpy as np
+import pytest
+
+from repro.cost_model import CostModel
+from repro.hardware import intel_cpu
+from repro.search import EvolutionarySearch, generate_sketches, sample_initial_population
+from repro.task import SearchTask
+from repro.utils.procpool import LazyProcessPool
+
+from ..conftest import make_matmul_relu_dag
+
+
+class StableCostModel(CostModel):
+    """Deterministic *across processes*: scores derive from the hex
+    fingerprint digits, not ``hash()`` (which is salted per process), so the
+    pooled islands score exactly like the in-process ones."""
+
+    def update(self, inputs, results):
+        return None
+
+    def predict(self, task, states):
+        return np.asarray(
+            [int(s.fingerprint()[:12], 16) % 99991 / 99991.0 for s in states]
+        )
+
+
+class CountingStableModel(StableCostModel):
+    """Stable scores + a record of every predicted fingerprint (in-process
+    islands share the model object, so the counters observe every call)."""
+
+    def __init__(self):
+        self.predict_calls = 0
+        self.predicted_keys = []
+
+    def predict(self, task, states):
+        self.predict_calls += 1
+        self.predicted_keys.extend(s.fingerprint() for s in states)
+        return super().predict(task, states)
+
+
+@pytest.fixture
+def task():
+    return SearchTask(make_matmul_relu_dag(256, 256, 256), intel_cpu())
+
+
+@pytest.fixture
+def population(task, rng):
+    sketches = generate_sketches(task)
+    return sample_initial_population(task, sketches, 24, rng)
+
+
+def _fingerprints(states):
+    return [s.fingerprint() for s in states]
+
+
+def _search(task, population, model=None, **kwargs):
+    evo = EvolutionarySearch(
+        task,
+        model if model is not None else StableCostModel(),
+        population_size=24,
+        num_generations=3,
+        seed=11,
+        **kwargs,
+    )
+    return evo, evo.search(population, num_best=8)
+
+
+def test_one_island_matches_the_default_serial_search(task, population):
+    _, best_default = _search(task, population)
+    _, best_one = _search(task, population, n_islands=1)
+    assert _fingerprints(best_default) == _fingerprints(best_one)
+
+
+def test_island_search_is_deterministic_given_seed(task, population):
+    evo1, best1 = _search(task, population, n_islands=3, migration_interval=1)
+    evo2, best2 = _search(task, population, n_islands=3, migration_interval=1)
+    assert _fingerprints(best1) == _fingerprints(best2)
+    assert evo1.last_stats == evo2.last_stats
+
+
+def test_pooled_islands_match_in_process_islands(task, population):
+    pool = LazyProcessPool(max_workers=3)
+    try:
+        _, best_pooled = _search(
+            task, population, n_islands=3, migration_interval=1, pool=pool
+        )
+    finally:
+        pool.close()
+    _, best_inproc = _search(task, population, n_islands=3, migration_interval=1)
+    assert _fingerprints(best_pooled) == _fingerprints(best_inproc)
+
+
+def test_islands_are_capped_by_population_size(task, population):
+    evo, best = _search(task, population[:2], n_islands=8)
+    assert evo.last_stats["islands"] <= 2
+    assert best
+
+
+def test_island_stats_report_barriers_and_migrations(task, population):
+    evo, _ = _search(
+        task, population, n_islands=3, migration_interval=1, migration_k=2
+    )
+    # 3 generations at interval 1 = 2 mid-search barriers.
+    assert evo.last_stats["islands"] == 3
+    assert evo.last_stats["barriers"] == 2
+    assert isinstance(evo.last_stats["migrated_keys"], list)
+
+
+def test_no_program_is_double_scored_across_islands_and_migrations(task, population):
+    """Extends the PR 2 counting-stub regression test to the island model:
+    the coordinator scores the initial population once, per-island caches are
+    seeded from it, and migrated elites travel *with* their scores, so
+    neither is ever re-predicted.  The only permitted duplicates are two
+    islands independently breeding the same offspring inside the same chunk
+    — between barriers the islands are isolated (in pool mode they are
+    separate processes), so those concurrent discoveries cannot be deduped
+    and are bounded by the island count."""
+    model = CountingStableModel()
+    evo, _ = _search(
+        task,
+        population,
+        model=model,
+        n_islands=3,
+        migration_interval=1,
+        migration_k=2,
+        mutation_prob=1.0,  # no crossover, so predict_stages never runs
+    )
+    counts = {k: model.predicted_keys.count(k) for k in set(model.predicted_keys)}
+    # The initial population was scored exactly once, by the coordinator.
+    for key in {s.fingerprint() for s in population}:
+        assert counts[key] == 1
+    # Migrated elites were scored once by their home island and never again.
+    migrated = evo.last_stats["migrated_keys"]
+    assert migrated, "expected elite migration at interval-1 barriers"
+    for key in migrated:
+        assert counts[key] == 1
+    # Concurrent same-chunk rediscovery is the only duplication channel.
+    assert max(counts.values()) <= evo.last_stats["islands"]
+
+
+def test_migration_zero_still_merges_score_caches(task, population):
+    """With migration_k=0 no elites travel, but the score caches still merge
+    at barriers — a program scored before a barrier is never re-predicted
+    in a later chunk, whichever island rediscovers it (same-chunk concurrent
+    discoveries excepted, as above)."""
+    model = CountingStableModel()
+    evo, _ = _search(
+        task,
+        population,
+        model=model,
+        n_islands=2,
+        migration_interval=1,
+        migration_k=0,
+        mutation_prob=1.0,
+    )
+    assert evo.last_stats["migrated_keys"] == []
+    counts = {k: model.predicted_keys.count(k) for k in set(model.predicted_keys)}
+    for key in {s.fingerprint() for s in population}:
+        assert counts[key] == 1
+    assert max(counts.values()) <= evo.last_stats["islands"]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_islands": 0},
+        {"migration_interval": 0},
+        {"migration_k": -1},
+    ],
+)
+def test_invalid_island_configuration_raises(task, kwargs):
+    with pytest.raises(ValueError):
+        EvolutionarySearch(task, StableCostModel(), **kwargs)

@@ -7,13 +7,15 @@
 # benchmark (measured trials/sec: parallel builder vs the serial shim, the
 # rpc stage — process-pool vs thread-pool builds on CPU-bound compile cost —
 # and the async-session stage: one-round-lookahead overlap vs the sync
-# breed|measure schedule, gated >= 1.3x when device latency dominates) —
+# breed|measure schedule, gated >= 1.3x when device latency dominates),
+# `make model-bench` the cost-model training stage (windowed vs full
+# retraining at 5k records, gated >= 3x with best-cost parity) —
 # all write into BENCH_search_throughput.json — and `make profile` runs a
 # small evolution under cProfile (top-25 cumulative).
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench throughput search-parallel measure-throughput store-bench fleet-bench profile install help
+.PHONY: test test-fast bench throughput search-parallel measure-throughput store-bench fleet-bench model-bench profile install help
 
 install:
 	pip install -e .
@@ -59,6 +61,12 @@ store-bench:
 fleet-bench:
 	$(PYTEST) -q -s benchmarks/test_fleet_resilience.py
 
+# Cost-model training baseline: windowed vs full retraining at 1k/5k
+# accumulated records (windowed >= 3x faster per update at 5k, session best
+# cost within 5% of the full-retrain path).
+model-bench:
+	$(PYTEST) -q -s benchmarks/test_search_throughput.py::test_training_throughput
+
 # Profile the search hot path: a small evolution run under cProfile.
 profile:
 	PYTHONPATH=src python benchmarks/profile_search.py
@@ -72,5 +80,6 @@ help:
 	@echo "make measure-throughput - measured trials/sec: parallel vs serial, rpc vs thread, async overlap vs sync"
 	@echo "make store-bench - schedule store: indexed lookup vs log rescan, warm-start vs cold search"
 	@echo "make fleet-bench - device fleet: breaker vs fault storm, estimate convergence, no-fault parity"
+	@echo "make model-bench - cost model: windowed vs full retraining at 5k records (>= 3x, best-cost parity)"
 	@echo "make profile     - cProfile a small evolution run (top-25 cumulative)"
 	@echo "make install     - pip install -e ."

@@ -24,7 +24,9 @@ Two further stages report into the same baseline file:
   (`search_workers`) across several tasks at population 128, with the
   `workers1` bit-parity and final-best parity flags,
 * **train_throughput** — seconds per ``LearnedCostModel.update`` at 1k and
-  5k accumulated training records (retraining-cost tracking).
+  5k accumulated training records, full-history refits vs the windowed
+  default (gated >= 3x at 5k), plus the best-cost-parity flag of a seeded
+  tuning session per retrain mode (``make model-bench``).
 """
 
 import os
@@ -216,12 +218,62 @@ def run_parallel_search():
     return result
 
 
-def run_training_throughput():
-    """Time per ``LearnedCostModel.update`` at 1k / 5k accumulated records.
+#: windowed-retraining stage: window size and the parity-session budget.
+#: The GBDT fit carries a large per-round constant (tree setup, binning,
+#: ~30 boosting rounds) independent of row count, so the speedup saturates
+#: as the window shrinks; 256 sits comfortably past the 3x gate while 1024
+#: only reaches ~2.2x against the 5k-record full refit.
+TRAIN_WINDOW = 256
+PARITY_WINDOW = 64
+PARITY_TRIALS = 96
+PARITY_ROUND = 16
 
-    The retraining-cost tracking ROADMAP asks for: every update re-trains the
-    GBDT on the whole accumulated training set, so the cost per update grows
-    with the record count — this stage pins down that growth curve.
+
+def _fill_model(model, inputs, results, target):
+    """Grow the training set to ``target`` samples without timing the fits:
+    retraining is deferred during the fill (this stage times one update at a
+    given accumulated size, not the filling)."""
+    interval = model.retrain_interval
+    model.retrain_interval = 10 ** 9
+    while model.num_samples < target - len(inputs):
+        model.update(inputs, results)
+    model.retrain_interval = interval
+    model._updates_since_train = interval  # the next update retrains
+
+
+def _best_cost_with_retrain(mode):
+    """Final best cost of one short seeded tuning session whose cost model
+    retrains in ``mode`` — with a window small enough (64) that the session's
+    ~96 samples overflow it, so windowed mode genuinely trains on a subset."""
+    task = SearchTask(matmul_relu(64, 64, 64), intel_cpu())
+    model = LearnedCostModel(
+        n_rounds=8, retrain=mode, retrain_window=PARITY_WINDOW, seed=0
+    )
+    from repro import Tuner, TuningOptions
+
+    result = Tuner(
+        task,
+        policy_kwargs={"cost_model": model},
+        options=TuningOptions(
+            num_measure_trials=PARITY_TRIALS,
+            num_measures_per_round=PARITY_ROUND,
+            seed=0,
+        ),
+    ).tune()
+    return result.best_cost
+
+
+def run_training_throughput():
+    """Seconds per ``LearnedCostModel.update`` at 1k / 5k accumulated
+    records, full-history refits vs the windowed default.
+
+    The PR 8 incarnation of this stage pinned down the full-refit growth
+    curve; the windowed retraining of the cost-model service is the lever
+    that flattens it.  Both modes are timed on identical data (the full
+    path is bit-identical to the historical per-round training), the
+    windowed path must be >= 3x faster per update at 5k records, and a
+    seeded tuning session per mode records the best-cost-parity flag
+    (windowed final best within 5% of the full-retrain session's).
     """
     task = SearchTask(matmul_relu(64, 64, 64), intel_cpu())
     rng = np.random.default_rng(0)
@@ -232,21 +284,40 @@ def run_training_throughput():
     inputs = [MeasureInput(task, s) for s in population]
     results = measurer.measure(inputs)
 
-    model = LearnedCostModel(n_rounds=30, max_training_samples=5000, seed=0)
     timings = {}
-    for target in (1000, 5000):
-        while model.num_samples < target - len(inputs):
+    for mode in ("full", "window"):
+        model = LearnedCostModel(
+            n_rounds=30,
+            max_training_samples=5000,
+            retrain=mode,
+            retrain_window=TRAIN_WINDOW,
+            seed=0,
+        )
+        timings[mode] = {}
+        for target in (1000, 5000):
+            _fill_model(model, inputs, results, target)
+            start = time.perf_counter()
             model.update(inputs, results)
-        start = time.perf_counter()
-        model.update(inputs, results)
-        timings[target] = time.perf_counter() - start
+            timings[mode][target] = time.perf_counter() - start
+
+    full_best = _best_cost_with_retrain("full")
+    windowed_best = _best_cost_with_retrain("window")
 
     result = {
         "batch_size": len(inputs),
-        "update_seconds_1k": timings[1000],
-        "update_seconds_5k": timings[5000],
-        "records_per_sec_1k": 1000 / timings[1000],
-        "records_per_sec_5k": 5000 / timings[5000],
+        "window": TRAIN_WINDOW,
+        "update_seconds_1k": timings["full"][1000],
+        "update_seconds_5k": timings["full"][5000],
+        "records_per_sec_1k": 1000 / timings["full"][1000],
+        "records_per_sec_5k": 5000 / timings["full"][5000],
+        "windowed_update_seconds_1k": timings["window"][1000],
+        "windowed_update_seconds_5k": timings["window"][5000],
+        "windowed_speedup_5k": timings["full"][5000] / timings["window"][5000],
+        "parity_window": PARITY_WINDOW,
+        "parity_trials": PARITY_TRIALS,
+        "full_best_cost": full_best,
+        "windowed_best_cost": windowed_best,
+        "best_cost_parity": bool(windowed_best <= 1.05 * full_best),
     }
     merge_benchmark_result(RESULT_PATH, {"train_throughput": result})
     return result
@@ -293,12 +364,27 @@ def test_parallel_search_throughput():
 @pytest.mark.slow
 def test_training_throughput():
     result = run_training_throughput()
-    print("\n=== cost-model training: seconds per update ===")
-    print(f"update at 1k records     : {result['update_seconds_1k']:.3f} s")
-    print(f"update at 5k records     : {result['update_seconds_5k']:.3f} s")
+    print("\n=== cost-model training: seconds per update (full vs windowed) ===")
+    print(f"full refit at 1k records : {result['update_seconds_1k']:.3f} s")
+    print(f"full refit at 5k records : {result['update_seconds_5k']:.3f} s")
+    print(f"windowed at 1k records   : {result['windowed_update_seconds_1k']:.3f} s")
+    print(f"windowed at 5k records   : {result['windowed_update_seconds_5k']:.3f} s")
+    print(f"windowed speedup at 5k   : {result['windowed_speedup_5k']:.1f}x (gate 3x)")
+    print(
+        f"best cost (full/window)  : {result['full_best_cost']:.3e} / "
+        f"{result['windowed_best_cost']:.3e} (parity={result['best_cost_parity']})"
+    )
     assert result["update_seconds_1k"] > 0 and result["update_seconds_5k"] > 0
-    # Tracking stage: generous ceiling only — retraining must stay usable
-    # (one update well under a minute even at the 5k-record cap).
+    # Tracking ceiling kept from PR 8: retraining must stay usable.
     assert result["update_seconds_5k"] < 60.0, (
         f"cost-model retraining at 5k records took {result['update_seconds_5k']:.1f}s"
+    )
+    assert result["windowed_speedup_5k"] >= 3.0, (
+        f"windowed retraining is only {result['windowed_speedup_5k']:.2f}x the "
+        "full refit at 5k records (need >= 3x)"
+    )
+    assert result["best_cost_parity"], (
+        f"windowed-retrain session's best ({result['windowed_best_cost']:.3e}s) "
+        f"fell more than 5% behind the full-retrain session's "
+        f"({result['full_best_cost']:.3e}s)"
     )

@@ -106,6 +106,32 @@ trials/sec over a breaker-off pool under a 50%-fault storm (best cost
 within 5% of a healthy pool), fault-rate-estimate convergence, and
 bit-parity with the plain pool when nothing is failing.
 
+The learned cost model is a first-class subsystem
+(:class:`repro.cost_model.CostModelService`): every layer — ``Tuner``
+single-task sessions, ``TaskScheduler`` multi-task sessions,
+``TuningService`` — trains and predicts through one service owning one
+:class:`repro.cost_model.LearnedCostModel` per hardware target (§5.2's
+single shared model, without mixing machines).  Retraining is *windowed*
+by default: instead of refitting the booster on the full accumulated
+history every round, each retrain fits on a bounded sample window (the
+most recent records plus an evenly-strided sweep of the older history,
+labels still normalized over everything), so the cost per update stays
+flat as measurements accumulate — ``TuningOptions(cost_model_retrain=
+"full")`` is the escape hatch that reproduces the historical
+full-history fit bit for bit, and with the default caps the window
+covers the whole retained set so the default is bit-identical anyway.
+``TuningOptions(cost_model_path=...)`` persists booster + training set
+across sessions (bit-identical predictions after reload; truncated or
+corrupt files raise ``CostModelLoadError`` instead of silently
+cold-starting), ``CostModelService.predict_batch`` coalesces concurrent
+searches' predictions into one booster invocation per target, and island
+workers cache shipped models by ``(digest, version)`` so a model is
+re-pickled only when a retrain actually changed it.  The tracked baseline
+is the ``train_throughput`` stage of
+``benchmarks/test_search_throughput.py`` (``make model-bench``), gating
+windowed retraining >= 3x faster per update than the full refit at 5k
+accumulated records with the final best cost within 5%.
+
 Tuning results persist across sessions through a
 :class:`repro.store.ScheduleStore` — an indexed, compactable store of best
 schedules keyed by ``(workload fingerprint, hardware target)``, layered
@@ -133,6 +159,7 @@ from .callbacks import (
     RecordToFile,
     StopTuning,
 )
+from .cost_model import CostModelLoadError, CostModelService, LearnedCostModel, RandomCostModel
 from .hardware.platform import HardwareParams, arm_cpu, intel_cpu, nvidia_gpu, target_from_name
 from .hardware.measure import (
     FaultModel,
@@ -241,6 +268,10 @@ __all__ = [
     "StoreWriter",
     "TuningRequest",
     "TuningService",
+    "CostModelService",
+    "CostModelLoadError",
+    "LearnedCostModel",
+    "RandomCostModel",
     "split_workload_key",
     "__version__",
 ]

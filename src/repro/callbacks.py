@@ -270,7 +270,11 @@ class ProgressLogger(MeasureCallback):
     the session (an :class:`~repro.hardware.rpc.RpcRunner`, or anything else
     exposing ``device_stats()``) gets a per-device summary — trials, faults
     and busy-time share — so a flaky or starved board is visible straight
-    from the progress log instead of needing a debugger.
+    from the progress log instead of needing a debugger.  The cost model
+    gets the same treatment: one line per hardware target with samples
+    ingested, retrains run vs skipped, the model version, and (when the
+    session's :class:`~repro.cost_model.service.CostModelService` is
+    persistent) the path it saves to.
     """
 
     def __init__(
@@ -278,10 +282,12 @@ class ProgressLogger(MeasureCallback):
         stream: Optional[TextIO] = None,
         log_scheduler_rounds: bool = True,
         log_device_stats: bool = True,
+        log_cost_model: bool = True,
     ):
         self.stream = stream
         self.log_scheduler_rounds = log_scheduler_rounds
         self.log_device_stats = log_device_stats
+        self.log_cost_model = log_cost_model
         #: measurers observed through events this session (id -> measurer)
         self._measurers: Dict[int, object] = {}
 
@@ -299,6 +305,8 @@ class ProgressLogger(MeasureCallback):
         self._track_measurer(event.measurer)
 
     def on_tuning_end(self, subject) -> None:
+        if self.log_cost_model:
+            self._log_cost_model(subject)
         if not self.log_device_stats:
             return
         # The scheduler exposes its pipelines directly; policies surface
@@ -337,6 +345,36 @@ class ProgressLogger(MeasureCallback):
                 if est_fault > 0:
                     line += f" est_fault={est_fault:.2f}"
                 self._print(line)
+
+    def _log_cost_model(self, subject) -> None:
+        """End-of-session cost-model summary: one line per hardware target
+        (samples ingested, retrains run vs skipped, model version, save
+        path).  ``subject`` is a scheduler (exposes ``cost_model_service``)
+        or a policy (exposes ``cost_model`` — a service view or a plain
+        model); anything without retrain counters stays silent."""
+        service = getattr(subject, "cost_model_service", None)
+        model = getattr(subject, "cost_model", None)
+        if service is None:
+            service = getattr(model, "service", None)
+        if service is not None and hasattr(service, "stats"):
+            stats = service.stats()
+            suffix = f" path={stats['path']}" if stats.get("path") else ""
+            for name in sorted(stats.get("targets", {})):
+                entry = stats["targets"][name]
+                self._print(
+                    f"[CostModelService] target={name} samples={entry['samples']} "
+                    f"ingested={entry['samples_ingested']} "
+                    f"retrains={entry['retrains_run']} "
+                    f"(skipped={entry['retrains_skipped']}) "
+                    f"version=v{entry['version']}{suffix}"
+                )
+            return
+        if model is not None and hasattr(model, "retrains_run"):
+            self._print(
+                f"[{type(model).__name__}] samples={model.num_samples} "
+                f"ingested={model.samples_ingested} retrains={model.retrains_run} "
+                f"(skipped={model.retrains_skipped}) version=v{model.version}"
+            )
 
     def on_round(self, event: MeasureEvent) -> None:
         from .hardware.measure import MeasureErrorNo  # local: avoid import cycle

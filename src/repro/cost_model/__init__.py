@@ -1,8 +1,11 @@
-"""Learned cost model: program features and gradient boosted trees."""
+"""Learned cost model: program features, gradient boosted trees, and the
+shared per-target :class:`CostModelService` (persistence + windowed
+retraining + coalesced cross-search prediction)."""
 
 from .features import FEATURE_LENGTH, extract_nest_features, extract_program_features, feature_names
 from .gbdt import GBDTRegressor, RegressionTree
 from .model import CostModel, LearnedCostModel, RandomCostModel
+from .service import CostModelLoadError, CostModelService, ServiceCostModel
 
 __all__ = [
     "FEATURE_LENGTH",
@@ -14,4 +17,7 @@ __all__ = [
     "CostModel",
     "LearnedCostModel",
     "RandomCostModel",
+    "CostModelService",
+    "ServiceCostModel",
+    "CostModelLoadError",
 ]

@@ -15,6 +15,8 @@ Two models are provided:
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +27,9 @@ from .features import FEATURE_LENGTH, extract_program_features, extract_program_
 from .gbdt import GBDTRegressor
 
 __all__ = ["CostModel", "RandomCostModel", "LearnedCostModel"]
+
+#: default bounded retraining window (samples) of ``retrain="window"`` mode
+DEFAULT_RETRAIN_WINDOW = 1024
 
 
 class CostModel:
@@ -40,6 +45,17 @@ class CostModel:
         """Per-statement scores (used by node-based crossover)."""
         scores = self.predict(task, [state])
         return np.array([scores[0]])
+
+    def worker_payload(self) -> Tuple[str, str, int, bytes]:
+        """The model as an island-worker transport tuple
+        ``("pickled", digest, version, blob)`` (see
+        :data:`repro.search.evolutionary.ModelRef`).  The base implementation
+        pickles fresh on every call; models that know when they change
+        (:class:`LearnedCostModel`) override it with a version-keyed cache so
+        a trained model is serialized once per retrain, not once per search."""
+        blob = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        version = int(getattr(self, "version", 0))
+        return ("pickled", hashlib.sha1(blob).hexdigest(), version, blob)
 
 
 class RandomCostModel(CostModel):
@@ -59,7 +75,24 @@ class RandomCostModel(CostModel):
 
 
 class LearnedCostModel(CostModel):
-    """GBDT cost model over per-statement features (paper §5.2, Appendix B)."""
+    """GBDT cost model over per-statement features (paper §5.2, Appendix B).
+
+    Retraining is controlled by two orthogonal knobs:
+
+    * ``retrain_interval`` — retrain once per this many ingested batches
+      (``update()`` calls that added at least one valid record); skipped
+      batches only extend the training set.
+    * ``retrain`` — what each retrain trains on.  ``"window"`` (default)
+      fits the booster on a bounded sample window (``retrain_window``
+      samples: the most recent three quarters plus an evenly-strided
+      sweep of the older history, labels still normalized over the full
+      history), keeping the cost per update flat as records accumulate.
+      ``"full"`` is the escape hatch that always fits on every retained
+      sample — bit-identical to the historical behaviour.  With the
+      default caps (``retrain_window >= max_training_samples``) the window
+      covers the whole retained set, so ``"window"`` is itself
+      bit-identical to ``"full"`` until the history outgrows the window.
+    """
 
     def __init__(
         self,
@@ -67,9 +100,26 @@ class LearnedCostModel(CostModel):
         max_depth: int = 4,
         learning_rate: float = 0.2,
         max_training_samples: int = 1024,
-        retrain_every: int = 1,
+        retrain_every: Optional[int] = None,
         seed: int = 0,
+        retrain: str = "window",
+        retrain_interval: Optional[int] = None,
+        retrain_window: Optional[int] = None,
     ):
+        if retrain not in ("window", "full"):
+            raise ValueError(
+                f"unknown retrain mode {retrain!r}; use 'window' or 'full'"
+            )
+        if retrain_every is not None and retrain_interval is not None:
+            raise ValueError(
+                "pass retrain_interval= or its legacy alias retrain_every=, not both"
+            )
+        if retrain_interval is None:
+            retrain_interval = retrain_every if retrain_every is not None else 1
+        if retrain_interval < 1:
+            raise ValueError("retrain_interval must be >= 1")
+        if retrain_window is not None and retrain_window < 2:
+            raise ValueError("retrain_window must be >= 2 (or None for the default)")
         self.booster = GBDTRegressor(
             n_rounds=n_rounds,
             max_depth=max_depth,
@@ -77,7 +127,13 @@ class LearnedCostModel(CostModel):
             seed=seed,
         )
         self.max_training_samples = max_training_samples
-        self.retrain_every = retrain_every
+        self.retrain = retrain
+        self.retrain_interval = retrain_interval
+        self.retrain_window = (
+            retrain_window
+            if retrain_window is not None
+            else min(DEFAULT_RETRAIN_WINDOW, max_training_samples)
+        )
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         # Training set: one entry per measured program.
@@ -86,6 +142,39 @@ class LearnedCostModel(CostModel):
         self._workloads: List[str] = []             # workload key per program
         self._updates_since_train = 0
         self._trained = False
+        self._version = 0
+        #: cached worker transport of the current version (see worker_payload)
+        self._payload_cache: Optional[Tuple[str, str, int, bytes]] = None
+        #: lifetime observability counters (surfaced by ProgressLogger and
+        #: CostModelService.stats): samples accepted into the training set,
+        #: retrains actually run, and update() calls that skipped the fit
+        #: (no valid records, or the retrain_interval deferred it)
+        self.samples_ingested = 0
+        self.retrains_run = 0
+        self.retrains_skipped = 0
+
+    @property
+    def retrain_every(self) -> int:
+        """Legacy alias of :attr:`retrain_interval`."""
+        return self.retrain_interval
+
+    @retrain_every.setter
+    def retrain_every(self, value: int) -> None:
+        self.retrain_interval = value
+
+    @property
+    def version(self) -> int:
+        """Monotonic training version: bumped on every retrain, 0 until the
+        first.  Worker-side model caches key on ``(digest, version)``."""
+        return self._version
+
+    def __getstate__(self) -> dict:
+        # The payload cache holds a pickle of this very model; shipping it
+        # inside save files / worker blobs would double their size for bytes
+        # the receiver can never reuse.
+        state = self.__dict__.copy()
+        state["_payload_cache"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Training
@@ -109,7 +198,12 @@ class LearnedCostModel(CostModel):
             self._workloads.append(inp.task.workload_key)
             added += 1
         if added == 0:
+            # No-op batch (every result errored): nothing changed, so a
+            # retrain could only reproduce the current booster — return
+            # before touching the retrain clock.
+            self.retrains_skipped += 1
             return
+        self.samples_ingested += added
         # Bound the training set to the most recent programs.
         if len(self._features) > self.max_training_samples:
             excess = len(self._features) - self.max_training_samples
@@ -117,9 +211,11 @@ class LearnedCostModel(CostModel):
             self._throughputs = self._throughputs[excess:]
             self._workloads = self._workloads[excess:]
         self._updates_since_train += 1
-        if self._updates_since_train >= self.retrain_every:
+        if self._updates_since_train >= self.retrain_interval:
             self._train()
             self._updates_since_train = 0
+        else:
+            self.retrains_skipped += 1
 
     def _normalized_labels(self) -> np.ndarray:
         """Throughputs normalized to [0, 1] within each workload (DAG)."""
@@ -132,16 +228,43 @@ class LearnedCostModel(CostModel):
             throughputs, denom, out=np.zeros_like(throughputs), where=denom > 0
         )
 
+    def _window_indices(self, n: int) -> Optional[np.ndarray]:
+        """Which samples the next retrain fits on: ``None`` = all of them.
+
+        ``"window"`` mode with more history than ``retrain_window`` keeps the
+        most recent three quarters of the window verbatim (the samples the
+        current search round cares about) and fills the rest with an
+        evenly-strided sweep of the older history, so long-lived sessions
+        keep cross-task coverage without paying full-history fits.
+        Deterministic (no RNG draw: the untrained-prediction stream must not
+        depend on the retrain mode), and ascending so row order matches the
+        full path's."""
+        window = self.retrain_window
+        if self.retrain == "full" or n <= window:
+            return None
+        recent = window - window // 4
+        older = np.unique(np.linspace(0, n - recent - 1, num=window - recent).astype(np.int64))
+        return np.concatenate([older, np.arange(n - recent, n, dtype=np.int64)])
+
     def _train(self) -> None:
         if not self._features:
             return
+        # Labels normalize over the FULL retained history even in windowed
+        # mode: dropping the workload's best from the window must not
+        # inflate the survivors to look optimal.
         labels = self._normalized_labels()
+        indices = self._window_indices(len(self._features))
+        if indices is None:
+            features = self._features
+        else:
+            features = [self._features[i] for i in indices]
+            labels = labels[indices]
         # Stack statements; remember which program each statement belongs to.
-        stacked = np.vstack(self._features)
+        stacked = np.vstack(features)
         group = np.concatenate(
-            [np.full(f.shape[0], i, dtype=np.int64) for i, f in enumerate(self._features)]
+            [np.full(f.shape[0], i, dtype=np.int64) for i, f in enumerate(features)]
         )
-        n_programs = len(self._features)
+        n_programs = len(features)
         # Statement weight = its program's (normalized) throughput; the paper
         # weights the loss by the throughput y so fast programs matter more.
         weights = np.maximum(labels[group], 1e-3)
@@ -153,6 +276,9 @@ class LearnedCostModel(CostModel):
 
         self.booster.fit_boosting(stacked, residual_fn, sample_weight=weights)
         self._trained = True
+        self._version += 1
+        self._payload_cache = None
+        self.retrains_run += 1
 
     @property
     def num_samples(self) -> int:
@@ -161,6 +287,22 @@ class LearnedCostModel(CostModel):
     @property
     def is_trained(self) -> bool:
         return self._trained
+
+    def worker_payload(self) -> Tuple[str, str, int, bytes]:
+        """Version-cached island-worker transport: a trained model is pickled
+        once per retrain and the same ``("pickled", digest, version, blob)``
+        tuple is shipped to every subsequent search until the next retrain
+        bumps :attr:`version`.  An untrained model is pickled fresh each call
+        — its predictions draw from the live RNG, so a cached blob would
+        replay a stale stream."""
+        if not self._trained:
+            return super().worker_payload()
+        cached = self._payload_cache
+        if cached is not None and cached[2] == self._version:
+            return cached
+        payload = super().worker_payload()
+        self._payload_cache = payload
+        return payload
 
     # ------------------------------------------------------------------
     # Prediction
@@ -197,3 +339,39 @@ class LearnedCostModel(CostModel):
         if features.shape[0] == 0:
             return np.zeros(1)
         return self.booster.predict(features)
+
+    def predict_batch(
+        self, requests: Sequence[Tuple[object, Sequence[State]]]
+    ) -> List[np.ndarray]:
+        """Coalesced prediction for several concurrent searches.
+
+        ``requests`` is a sequence of ``(task, states)`` pairs; every
+        statement of every state of every request is stacked into ONE
+        booster invocation, then summed back per program per request.  The
+        booster scores rows independently, so the result is bit-identical
+        to calling :meth:`predict` once per request — minus the per-call
+        Python and tree-dispatch overhead (the cross-search extension of
+        the PR 2 vectorized path).  Untrained models fall back to
+        per-request prediction to preserve the RNG stream."""
+        if not self._trained:
+            return [self.predict(task, states) for task, states in requests]
+        feature_lists = [
+            extract_program_features_batch(states) if states else []
+            for _, states in requests
+        ]
+        scores = [np.full(len(states), -1e9) for _, states in requests]
+        stacked_parts = []
+        slots = []  # (request index, state index, row count) per valid program
+        for r, feature_list in enumerate(feature_lists):
+            for i, features in enumerate(feature_list):
+                if features is not None and features.shape[0] > 0:
+                    stacked_parts.append(features)
+                    slots.append((r, i, features.shape[0]))
+        if not stacked_parts:
+            return scores
+        rows = self.booster.predict(np.vstack(stacked_parts))
+        offset = 0
+        for r, i, count in slots:
+            scores[r][i] = float(rows[offset: offset + count].sum())
+            offset += count
+        return scores

@@ -34,7 +34,8 @@ from ..callbacks import (
     fire_round_events,
     fire_scheduler_round,
 )
-from ..cost_model.model import CostModel, LearnedCostModel
+from ..cost_model.model import CostModel
+from ..cost_model.service import CostModelService
 from ..hardware.measure import MeasureInput, MeasurePipeline, MeasureSession
 from ..hardware.platform import HardwareParams
 from ..ir.state import State
@@ -84,6 +85,7 @@ class TaskScheduler:
         eps_greedy: float = 0.05,
         max_empty_rounds: int = 2,
         trial_limits: Optional[Sequence[Optional[int]]] = None,
+        cost_model_service: Optional[CostModelService] = None,
         seed: int = 0,
         verbose: int = 0,
     ):
@@ -117,12 +119,21 @@ class TaskScheduler:
         self.rng = np.random.default_rng(seed)
 
         # One cost model shared by all tasks (§5.2: "A single model is trained
-        # for all tensor programs coming from all DAGs").
-        self.cost_model: CostModel = LearnedCostModel(seed=seed)
+        # for all tensor programs coming from all DAGs") — per hardware
+        # target, owned by the session's CostModelService.  Same-target
+        # tasks share one model exactly as before; a heterogeneous task
+        # list now trains one model per machine instead of mixing targets.
+        if cost_model_service is None:
+            cost_model_service = CostModelService(seed=seed)
+        self.cost_model_service = cost_model_service
+        #: back-compat handle: the shared model view of the first task's
+        #: target (for homogeneous task lists, THE shared cost model)
+        self.cost_model: CostModel = cost_model_service.view(self.tasks[0])
         if policy_factory is None:
             policy_factory = lambda task, model, s: SketchPolicy(task, cost_model=model, seed=s)
         self.policies: List[SearchPolicy] = [
-            policy_factory(task, self.cost_model, seed + idx) for idx, task in enumerate(self.tasks)
+            policy_factory(task, cost_model_service.view(task), seed + idx)
+            for idx, task in enumerate(self.tasks)
         ]
 
         #: per-task caps on measurement trials (None = only the shared

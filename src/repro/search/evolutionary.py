@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -225,27 +226,38 @@ def _update_hall(
             hall[key] = (float(score), state)
 
 
-#: worker-side cache of unpickled cost models, keyed by blob digest: the
-#: coordinator pickles the model once per search and every chunk ships the
-#: same bytes (a cheap memcpy), which each worker deserializes only once —
-#: without this, a trained model (hundreds of KB of booster state and
-#: training features) would be re-pickled per island per chunk.
-_MODEL_CACHE: Dict[str, CostModel] = {}
+#: worker-side LRU cache of unpickled cost models, keyed by
+#: ``(digest, version)``: the coordinator pickles the model once per
+#: *retrain* (``CostModel.worker_payload`` caches the blob per model
+#: version) and every chunk ships the same bytes (a cheap memcpy), which
+#: each worker deserializes only once — without this, a trained model
+#: (hundreds of KB of booster state and training features) would be
+#: re-pickled per island per chunk.  The version key means a retrained
+#: model invalidates exactly its own slot; the small LRU cap keeps long
+#: multi-task sessions (one evolving model per target, retrained every
+#: round) from growing the cache without bound.
+_MODEL_CACHE: "OrderedDict[Tuple[str, int], CostModel]" = OrderedDict()
+
+#: most models a worker keeps deserialized at once
+_MODEL_CACHE_CAP = 4
 
 #: a cost model travelling to an island worker: either the live object
-#: (in-process islands share it) or ``("pickled", digest, blob)``
-ModelRef = Union[CostModel, Tuple[str, str, bytes]]
+#: (in-process islands share it) or ``("pickled", digest, version, blob)``
+ModelRef = Union[CostModel, Tuple[str, str, int, bytes]]
 
 
 def _resolve_model_ref(model_ref: ModelRef) -> CostModel:
-    if isinstance(model_ref, tuple) and len(model_ref) == 3 and model_ref[0] == "pickled":
-        _, digest, blob = model_ref
-        model = _MODEL_CACHE.get(digest)
+    if isinstance(model_ref, tuple) and len(model_ref) == 4 and model_ref[0] == "pickled":
+        _, digest, version, blob = model_ref
+        key = (digest, version)
+        model = _MODEL_CACHE.get(key)
         if model is None:
-            if len(_MODEL_CACHE) >= 4:
-                _MODEL_CACHE.clear()
             model = pickle.loads(blob)
-            _MODEL_CACHE[digest] = model
+            _MODEL_CACHE[key] = model
+            while len(_MODEL_CACHE) > _MODEL_CACHE_CAP:
+                _MODEL_CACHE.popitem(last=False)
+        else:
+            _MODEL_CACHE.move_to_end(key)
         return model
     return model_ref
 
@@ -473,15 +485,21 @@ class EvolutionarySearch:
         global_cache: Dict[str, float] = {}
         _score_with_cache(self.cost_model, self.task, population, global_cache)
 
-        # With a pool bound, pickle the model ONCE for the whole search and
-        # ship the same blob every chunk: workers cache the deserialized
-        # model by digest (see _MODEL_CACHE), so a trained model's hundreds
-        # of KB are serialized once instead of per island per chunk.
-        # In-process islands share the live model object.
+        # With a pool bound, ship the model's worker_payload: a trained
+        # LearnedCostModel is pickled once per *retrain* (the payload tuple
+        # is cached by model version) and workers cache the deserialized
+        # model by (digest, version) — see _MODEL_CACHE — so a model's
+        # hundreds of KB are serialized once per version instead of per
+        # search per island per chunk.  In-process islands share the live
+        # model object.
         model_ref: ModelRef = self.cost_model
         if self.pool is not None and n_islands > 1:
-            blob = pickle.dumps(self.cost_model, protocol=pickle.HIGHEST_PROTOCOL)
-            model_ref = ("pickled", hashlib.sha1(blob).hexdigest(), blob)
+            payload_fn = getattr(self.cost_model, "worker_payload", None)
+            if payload_fn is not None:
+                model_ref = payload_fn()
+            else:  # duck-typed foreign model: pickle fresh, version 0
+                blob = pickle.dumps(self.cost_model, protocol=pickle.HIGHEST_PROTOCOL)
+                model_ref = ("pickled", hashlib.sha1(blob).hexdigest(), 0, blob)
 
         # Per-island RNGs spawned from one SeedSequence: deterministic for a
         # given (seed, n_islands), independent of pool scheduling.

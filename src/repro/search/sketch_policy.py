@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cost_model.model import CostModel, LearnedCostModel, RandomCostModel
+from ..cost_model.service import CostModelService
 from ..hardware.measure import MeasureInput, MeasureResult
 from ..ir.state import State
 from ..task import SearchTask
@@ -48,7 +49,7 @@ class SketchPolicy(SearchPolicy):
     def __init__(
         self,
         task: SearchTask,
-        cost_model: Optional[CostModel] = None,
+        cost_model: "Optional[CostModel | CostModelService]" = None,
         space: SearchSpaceOptions = FULL_SPACE,
         rules: Optional[Sequence[SketchRule]] = None,
         population_size: int = 64,
@@ -68,6 +69,10 @@ class SketchPolicy(SearchPolicy):
         super().__init__(task, seed=seed, verbose=verbose)
         if search_workers < 1:
             raise ValueError("search_workers must be >= 1")
+        if isinstance(cost_model, CostModelService):
+            # A whole service binds through its per-target view, so this
+            # policy trains/predicts on the shared model of ITS target.
+            cost_model = cost_model.view(task)
         self.cost_model = cost_model if cost_model is not None else LearnedCostModel(seed=seed)
         self.space = space
         self.rules = rules

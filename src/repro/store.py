@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from .callbacks import MeasureCallback, MeasureResultEvent
+from .cost_model.service import CostModelService
 from .records import RecordLogWarning, TuningRecord, load_records
 from .task import SearchTask, TuningOptions, split_workload_key
 
@@ -525,6 +526,7 @@ class TuningService:
         options: Optional[TuningOptions] = None,
         policy: str = "sketch",
         callbacks: Sequence[MeasureCallback] = (),
+        cost_model_service: Optional[CostModelService] = None,
     ):
         if options is not None and options.schedule_store not in (None, store):
             raise ValueError(
@@ -535,6 +537,30 @@ class TuningService:
         self.options = options or TuningOptions()
         self.policy = policy
         self.callbacks = list(callbacks)
+        if (
+            cost_model_service is not None
+            and self.options.cost_model_path is not None
+            and (
+                cost_model_service.path is None
+                or str(cost_model_service.path) != str(self.options.cost_model_path)
+            )
+        ):
+            raise ValueError(
+                "TuningService got cost_model_service= and "
+                "TuningOptions(cost_model_path=...) pointing at different "
+                "files; pass one or the other"
+            )
+        #: the service's shared cost-model authority: ONE service for the
+        #: lifetime of the front-end, so knowledge accumulates across
+        #: :meth:`run` calls (request batch N+1 predicts with everything
+        #: batches 1..N measured) and — with
+        #: ``TuningOptions(cost_model_path=...)`` — across processes, the
+        #: model-side analogue of the schedule store itself.
+        self.cost_model_service = (
+            cost_model_service
+            if cost_model_service is not None
+            else CostModelService.from_options(self.options)
+        )
         self._pending: List[TuningRequest] = []
         self.requests: List[TuningRequest] = []
         #: the scheduler of the latest :meth:`run` that searched (for
@@ -625,6 +651,7 @@ class TuningService:
             task_weights=[r.priority for r in missed],
             policy_factory=policy_factory,
             trial_limits=[r.max_trials for r in missed],
+            cost_model_service=self.cost_model_service,
             seed=options.seed,
             verbose=options.verbose,
         )
@@ -636,13 +663,19 @@ class TuningService:
             callbacks.append(StoreWriter(self.store))
         from .hardware.measure import MeasurePipeline  # local: cycle
 
-        scheduler.tune(
-            budget,
-            round_size,
-            callbacks=callbacks,
-            measurer_factory=lambda hw: MeasurePipeline.from_options(hw, options),
-            async_measure=options.async_measure,
-        )
+        try:
+            scheduler.tune(
+                budget,
+                round_size,
+                callbacks=callbacks,
+                measurer_factory=lambda hw: MeasurePipeline.from_options(hw, options),
+                async_measure=options.async_measure,
+            )
+        finally:
+            # Like StoreWriter's streaming write-back: what this batch
+            # trained persists even if the run was interrupted.
+            if self.cost_model_service.path is not None:
+                self.cost_model_service.save()
         for request, policy in zip(missed, scheduler.policies):
             request.best_state = policy.best_state
             request.best_cost = policy.best_cost

@@ -176,6 +176,25 @@ class TuningOptions:
     #: escape hatch: ignore store hits and run the full search (still
     #: warm-started, and the result still refreshes the store).
     store_refresh: bool = False
+    #: persistence path of the session's
+    #: :class:`~repro.cost_model.service.CostModelService`: an existing file
+    #: warm-starts every per-target cost model from it (bit-identical
+    #: predictions after reload), and the session saves back at the end —
+    #: the cost-model analogue of ``schedule_store``.  None keeps the
+    #: service in-memory for the session.
+    cost_model_path: Optional[str] = None
+    #: cost-model retraining mode: ``"window"`` (default) fits each retrain
+    #: on a bounded sample window (``cost_model_window``), keeping update
+    #: cost flat as records accumulate; ``"full"`` always fits on the whole
+    #: retained history — bit-identical to pre-service releases.
+    cost_model_retrain: str = "window"
+    #: retrain the cost model once per this many ingested measurement
+    #: batches (1 = retrain every round, the historical behaviour)
+    cost_model_retrain_interval: int = 1
+    #: sample-window size of ``cost_model_retrain="window"``; None uses the
+    #: model default (1024, which covers the whole default training-set cap
+    #: — windowed mode then matches "full" bit for bit)
+    cost_model_window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_measure_trials <= 0:
@@ -205,3 +224,12 @@ class TuningOptions:
             )
         if self.store_min_trials < 0:
             raise ValueError("store_min_trials must be >= 0")
+        if self.cost_model_retrain not in ("window", "full"):
+            raise ValueError(
+                f"unknown cost_model_retrain {self.cost_model_retrain!r}; "
+                "use 'window' or 'full'"
+            )
+        if self.cost_model_retrain_interval < 1:
+            raise ValueError("cost_model_retrain_interval must be >= 1")
+        if self.cost_model_window is not None and self.cost_model_window < 2:
+            raise ValueError("cost_model_window must be >= 2 (or None for the default)")

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .callbacks import MeasureCallback
+from .cost_model.service import CostModelService
 from .hardware.measure import MeasurePipeline
 from .hardware.platform import HardwareParams
 from .ir.state import State
@@ -211,6 +212,19 @@ class Tuner:
         store through a :class:`~repro.store.StoreWriter`.  Network sessions
         use the store for warm-starts and write-back; request-level instant
         lookup under a shared budget is :class:`~repro.store.TuningService`.
+    cost_model_service:
+        A :class:`~repro.cost_model.service.CostModelService` — the
+        session's shared training/prediction authority (one
+        :class:`~repro.cost_model.model.LearnedCostModel` per hardware
+        target).  Defaults to a service built from the options' cost-model
+        knobs: ``TuningOptions(cost_model_path=...)`` warm-starts every
+        per-target model from an existing save file (bit-identical
+        predictions after reload) and persists back at session end;
+        ``cost_model_retrain`` / ``cost_model_retrain_interval`` /
+        ``cost_model_window`` control windowed retraining.  Combining a
+        requested service with a ready policy instance or an explicit
+        ``policy_kwargs['cost_model']`` raises (the service would be
+        silently bypassed).
     hardware / batch / max_tasks_per_network / objective / scheduler_strategy:
         Network-session knobs, forwarded to the task extractor and the
         :class:`~repro.scheduler.task_scheduler.TaskScheduler`.
@@ -226,6 +240,7 @@ class Tuner:
         policy_kwargs: Optional[dict] = None,
         measurer: Optional[MeasurePipeline] = None,
         store: Optional[ScheduleStore] = None,
+        cost_model_service: Optional[CostModelService] = None,
         hardware: Optional[HardwareParams] = None,
         batch: int = 1,
         max_tasks_per_network: Optional[int] = None,
@@ -246,6 +261,30 @@ class Tuner:
         #: the schedule store consulted before searching (instant lookup),
         #: used for warm-starts, and refreshed with every new best
         self.store = store if store is not None else options_store
+        if (
+            cost_model_service is not None
+            and self.options.cost_model_path is not None
+            and (
+                cost_model_service.path is None
+                or str(cost_model_service.path) != str(self.options.cost_model_path)
+            )
+        ):
+            raise ValueError(
+                "Tuner got cost_model_service= and "
+                "TuningOptions(cost_model_path=...) pointing at different "
+                "files; pass one or the other"
+            )
+        #: True when the caller asked for a specific service (a ready one,
+        #: or a persistence path in the options) — conflicts with a ready
+        #: policy / an explicit cost_model kwarg then raise instead of
+        #: silently dropping the warm-start
+        self._explicit_cost_model_service = (
+            cost_model_service is not None or self.options.cost_model_path is not None
+        )
+        #: the session's shared per-target cost-model authority (built
+        #: lazily from the options when not supplied; an existing
+        #: ``cost_model_path`` file warm-starts it)
+        self.cost_model_service = cost_model_service
         if measurer is not None:
             # A ready measurer and options that ask for a differently
             # configured pipeline cannot both win; matching the pipeline's
@@ -297,6 +336,51 @@ class Tuner:
             return resolve_policy(self.policy)
         return self.policy  # already a factory
 
+    def _service(self) -> CostModelService:
+        """The session's cost-model service, built from the options on
+        first use (loading ``cost_model_path`` when the file exists)."""
+        if self.cost_model_service is None:
+            self.cost_model_service = CostModelService.from_options(self.options)
+        return self.cost_model_service
+
+    def _cost_model_kwargs(self, factory, task: SearchTask, existing: dict) -> dict:
+        """The ``cost_model`` kwarg for a policy factory: a per-target view
+        of the session's :class:`CostModelService`.
+
+        An explicit ``policy_kwargs`` cost model wins — unless the caller
+        *also* asked for a service (a ready one, or a persistence path),
+        which would then be silently ignored: that conflict raises, matching
+        the measurer-knob convention.  A factory that cannot accept the
+        kwarg is left alone (its policy builds its own model) except when
+        the service was explicitly requested."""
+        if "cost_model" in existing:
+            if self._explicit_cost_model_service:
+                raise ValueError(
+                    "Tuner got both policy_kwargs['cost_model'] and a "
+                    "cost-model service (cost_model_service= / "
+                    "TuningOptions(cost_model_path=...)): the explicit model "
+                    "would bypass the service.  Pass one or the other."
+                )
+            return {}
+        if not _accepts_kwarg(factory, "cost_model"):
+            if self._explicit_cost_model_service:
+                raise ValueError(
+                    "a cost-model service was requested (cost_model_service= "
+                    "/ TuningOptions(cost_model_path=...)) but policy "
+                    f"{getattr(factory, '__name__', factory)!r} does not "
+                    "accept cost_model=; drop the service or use a policy "
+                    "that takes a cost model (the 'sketch' policy does)"
+                )
+            return {}
+        return {"cost_model": self._service().view(task)}
+
+    def _save_cost_model(self) -> None:
+        """Persist the service at session end when a path is bound (partial
+        sessions included: whatever trained is worth warm-starting from)."""
+        service = self.cost_model_service
+        if service is not None and service.path is not None:
+            service.save()
+
     def _make_policy(self, task: SearchTask) -> SearchPolicy:
         if isinstance(self.policy, SearchPolicy):
             if self.options.search_workers != 1:
@@ -308,6 +392,13 @@ class Tuner:
                     "configure the policy's search_workers directly or pass a "
                     "policy name/factory"
                 )
+            if self._explicit_cost_model_service:
+                raise ValueError(
+                    "a cost-model service (cost_model_service= / "
+                    "TuningOptions(cost_model_path=...)) cannot be applied to "
+                    "a ready SearchPolicy instance; pass the service's view "
+                    "as the policy's cost_model, or use a policy name/factory"
+                )
             return self.policy
         factory = self._policy_factory()
         # policy_kwargs last: explicit user kwargs override the defaults
@@ -315,6 +406,7 @@ class Tuner:
         kwargs = {"seed": self.options.seed, "verbose": self.options.verbose,
                   **self.policy_kwargs}
         kwargs.update(_search_worker_kwargs(factory, self.options, kwargs))
+        kwargs.update(self._cost_model_kwargs(factory, task, kwargs))
         return factory(task, **kwargs)
 
     # ------------------------------------------------------------------
@@ -398,6 +490,9 @@ class Tuner:
                 # The session owns policies it built itself; release their
                 # worker pools (a user-supplied instance may be reused).
                 policy.close()
+            # Persist whatever trained even on an interrupted session — a
+            # partial model still warm-starts the next one.
+            self._save_cost_model()
         return TuningResult(
             tasks=[task],
             best_costs=[policy.best_cost],
@@ -445,6 +540,10 @@ class Tuner:
             objective=self.objective,
             policy_factory=scheduler_factory,
             strategy=self.scheduler_strategy,
+            # The scheduler trains through this session's service (one
+            # model per hardware target, warm from cost_model_path when
+            # one is bound) instead of a throwaway per-session model.
+            cost_model_service=self._service(),
             seed=options.seed,
             verbose=options.verbose,
         )
@@ -461,14 +560,17 @@ class Tuner:
         # is validated against every task instead).
         measurer = self.measurer
         errors_before = measurer.error_count if measurer is not None else 0
-        best_costs = scheduler.tune(
-            options.num_measure_trials,
-            options.num_measures_per_round,
-            measurer=measurer,
-            callbacks=callbacks,
-            measurer_factory=lambda hw: MeasurePipeline.from_options(hw, options),
-            async_measure=options.async_measure,
-        )
+        try:
+            best_costs = scheduler.tune(
+                options.num_measure_trials,
+                options.num_measures_per_round,
+                measurer=measurer,
+                callbacks=callbacks,
+                measurer_factory=lambda hw: MeasurePipeline.from_options(hw, options),
+                async_measure=options.async_measure,
+            )
+        finally:
+            self._save_cost_model()
         return TuningResult(
             tasks=list(tasks),
             best_costs=list(best_costs),

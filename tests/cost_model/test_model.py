@@ -116,3 +116,92 @@ def test_labels_normalized_per_workload(task):
     labels = model._normalized_labels()
     assert labels.max() == pytest.approx(1.0)
     assert (labels >= 0).all() and (labels <= 1.0 + 1e-9).all()
+
+
+def test_zero_valid_batch_skips_the_refit_entirely(task):
+    """An update whose every result errored must return before the retrain
+    clock: no refit, no interval consumption — just a skip counter tick."""
+    model = LearnedCostModel(n_rounds=5)
+    inputs, results = _sample_and_measure(task, 16)
+    model.update(inputs, results)
+    version_before = model.version
+    clock_before = model._updates_since_train
+
+    bad_state = task.compute_dag.init_state()
+    bad_state.split("C", 0, [None])  # incomplete -> measure error
+    measurer = ProgramMeasurer(task.hardware_params)
+    bad_inputs = [MeasureInput(task, bad_state)]
+    bad_results = measurer.measure(bad_inputs)
+    assert not any(r.valid for r in bad_results)
+
+    trains = []
+    original = model._train
+    model._train = lambda: trains.append(original())
+    try:
+        model.update(bad_inputs, bad_results)
+    finally:
+        model._train = original
+    assert trains == []  # the refit never ran
+    assert model.version == version_before
+    assert model._updates_since_train == clock_before
+    assert model.retrains_skipped == 1
+
+
+def test_retrain_full_matches_default_window(task):
+    """With the default caps the window covers the whole retained history,
+    so ``retrain="window"`` (the new default) predicts bit-identically to
+    the ``retrain="full"`` escape hatch (the historical behaviour)."""
+    inputs, results = _sample_and_measure(task, 32)
+    test_states = [inp.state for inp in _sample_and_measure(task, 8, seed=7)[0]]
+    scores = {}
+    for mode in ("full", "window"):
+        model = LearnedCostModel(n_rounds=5, retrain=mode, seed=0)
+        model.update(inputs, results)
+        scores[mode] = model.predict(task, test_states)
+    np.testing.assert_array_equal(scores["window"], scores["full"])
+
+
+def test_window_indices_keep_recent_samples_and_stride_older_history():
+    model = LearnedCostModel(retrain_window=8)
+    assert model._window_indices(8) is None  # history fits: train on all
+    indices = model._window_indices(32)
+    assert len(indices) == 8
+    # The most recent three quarters of the window are kept verbatim...
+    assert list(indices[-6:]) == [26, 27, 28, 29, 30, 31]
+    # ...and the remainder strides the older history, in ascending order.
+    assert (np.diff(indices) > 0).all()
+    assert indices[0] == 0
+    assert LearnedCostModel(retrain="full")._window_indices(10**6) is None
+
+
+def test_retrain_interval_defers_refits(task):
+    model = LearnedCostModel(n_rounds=2, retrain_interval=2)
+    inputs, results = _sample_and_measure(task, 16)
+    model.update(inputs[:8], results[:8])
+    assert not model.is_trained  # deferred: first of every two batches
+    assert model.retrains_skipped == 1
+    model.update(inputs[8:], results[8:])
+    assert model.is_trained
+    assert model.retrains_run == 1
+
+
+def test_retrain_every_is_a_legacy_alias():
+    model = LearnedCostModel(retrain_every=3)
+    assert model.retrain_interval == 3
+    model.retrain_every = 5
+    assert model.retrain_interval == 5
+    with pytest.raises(ValueError, match="not both"):
+        LearnedCostModel(retrain_every=2, retrain_interval=2)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"retrain": "sometimes"},
+        {"retrain_interval": 0},
+        {"retrain_window": 1},
+    ],
+)
+def test_invalid_retrain_configuration_raises(kwargs):
+    with pytest.raises(ValueError):
+        LearnedCostModel(**kwargs)

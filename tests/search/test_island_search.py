@@ -1,5 +1,9 @@
 """Island-model evolutionary search (parallel `search_workers`): determinism,
-serial parity, migration accounting, and the no-double-scoring contract."""
+serial parity, migration accounting, the no-double-scoring contract, and the
+LRU bound on the worker-side model cache."""
+
+import hashlib
+import pickle
 
 import numpy as np
 import pytest
@@ -174,3 +178,41 @@ def test_migration_zero_still_merges_score_caches(task, population):
 def test_invalid_island_configuration_raises(task, kwargs):
     with pytest.raises(ValueError):
         EvolutionarySearch(task, StableCostModel(), **kwargs)
+
+
+def _model_ref(version):
+    blob = pickle.dumps(StableCostModel(), protocol=pickle.HIGHEST_PROTOCOL)
+    # Distinct digests per ref: each stands in for a different model/version.
+    digest = hashlib.sha1(blob + bytes([version])).hexdigest()
+    return ("pickled", digest, version, blob)
+
+
+def test_worker_model_cache_is_lru_bounded():
+    """A long multi-task session ships many (model, version) payloads; the
+    worker-side cache must stay bounded, evicting least-recently-used
+    entries, while hits return the already-deserialized object."""
+    from repro.search import evolutionary
+
+    saved = dict(evolutionary._MODEL_CACHE)
+    evolutionary._MODEL_CACHE.clear()
+    try:
+        cap = evolutionary._MODEL_CACHE_CAP
+        refs = [_model_ref(v) for v in range(cap + 2)]
+        for ref in refs:
+            evolutionary._resolve_model_ref(ref)
+        assert len(evolutionary._MODEL_CACHE) == cap
+        # Only the most recent `cap` payloads survive, oldest-first evicted.
+        assert list(evolutionary._MODEL_CACHE) == [
+            (ref[1], ref[2]) for ref in refs[-cap:]
+        ]
+        # A hit returns the cached object (no re-unpickle) and refreshes
+        # its recency, so the *next* insert evicts a different entry.
+        key = (refs[-cap][1], refs[-cap][2])
+        cached = evolutionary._MODEL_CACHE[key]
+        assert evolutionary._resolve_model_ref(refs[-cap]) is cached
+        evolutionary._resolve_model_ref(_model_ref(99))
+        assert key in evolutionary._MODEL_CACHE
+        assert len(evolutionary._MODEL_CACHE) == cap
+    finally:
+        evolutionary._MODEL_CACHE.clear()
+        evolutionary._MODEL_CACHE.update(saved)

@@ -174,8 +174,11 @@ def test_progress_logger_writes_to_stream(tmp_path, task):
     stream = io.StringIO()
     Tuner(task, options=SMALL, callbacks=[ProgressLogger(stream=stream)]).tune()
     lines = stream.getvalue().strip().splitlines()
-    assert len(lines) == 2  # one per round
-    assert all("SketchPolicy" in line and "best=" in line for line in lines)
+    # One line per round, plus the end-of-session cost-model summary.
+    assert len(lines) == 3
+    assert all("SketchPolicy" in line and "best=" in line for line in lines[:2])
+    assert "[CostModelService]" in lines[2]
+    assert "retrains=" in lines[2] and "version=" in lines[2]
 
 
 def test_early_stopper_ends_session_before_budget(task):

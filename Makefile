@@ -15,7 +15,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench throughput search-parallel measure-throughput store-bench fleet-bench model-bench profile install help
+.PHONY: test test-fast bench throughput search-parallel measure-throughput store-bench fleet-bench model-bench variant-bench profile install help
 
 install:
 	pip install -e .
@@ -67,6 +67,13 @@ fleet-bench:
 model-bench:
 	$(PYTEST) -q -s benchmarks/test_search_throughput.py::test_training_throughput
 
+# Algorithm-variant search baseline: arbitrated conv2d variant groups
+# (direct vs im2col vs tiled-gemm) within 1.1x of exhaustive per-variant
+# tuning at <= 0.6x the trials, and the winning variant flipping across
+# hardware targets on at least one shape.
+variant-bench:
+	$(PYTEST) -q -s benchmarks/test_variant_search.py
+
 # Profile the search hot path: a small evolution run under cProfile.
 profile:
 	PYTHONPATH=src python benchmarks/profile_search.py
@@ -81,5 +88,6 @@ help:
 	@echo "make store-bench - schedule store: indexed lookup vs log rescan, warm-start vs cold search"
 	@echo "make fleet-bench - device fleet: breaker vs fault storm, estimate convergence, no-fault parity"
 	@echo "make model-bench - cost model: windowed vs full retraining at 5k records (>= 3x, best-cost parity)"
+	@echo "make variant-bench - variant search: arbitrated groups vs exhaustive tuning + per-target winner flips"
 	@echo "make profile     - cProfile a small evolution run (top-25 cumulative)"
 	@echo "make install     - pip install -e ."

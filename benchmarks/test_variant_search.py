@@ -1,0 +1,195 @@
+"""Algorithm-variant search benchmark: arbitration efficiency and winner flips.
+
+The variants subsystem (:mod:`repro.variants`) claims two things, and this
+benchmark gates both:
+
+* **efficiency** — arbitrating one shared budget across a conv2d variant
+  group (direct / im2col / tiled-gemm), with successive-halving pruning of
+  trailing variants, must reach a best cost within ``MAX_COST_RATIO``
+  (1.1x) of *exhaustively* tuning every variant with its own full budget —
+  while consuming at most ``MAX_TRIALS_FRACTION`` (0.6x) of the exhaustive
+  trial count.  The arbiter's whole point is that most of the exhaustive
+  budget is spent polishing variants that were never going to win.
+
+* **winner flips** — the winning variant is a property of the
+  ``(shape, target)`` pair, not the op: across the wide-vector AVX-512
+  class target and the low-memory edge target, at least one benchmark
+  shape must crown *different* variants.  That is the reason variant
+  choice must be searched per target instead of hard-coded.
+
+Every session is seeded, so the benchmark is deterministic.  Results merge
+into ``BENCH_search_throughput.json`` next to the other tracked baselines
+(``make variant-bench`` runs just this file).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import LogicalOp, Tuner, TuningOptions, expand_variants
+from repro.hardware import edge_cpu, wide_vector_cpu
+
+from harness import merge_benchmark_result
+
+#: trials each variant gets in the exhaustive reference sweep
+TRIALS_PER_VARIANT = int(os.environ.get("BENCH_VARIANT_TRIALS", "32"))
+ROUND_SIZE = 8
+SEED = 0
+PRUNE_MARGIN = 1.35
+MIN_TRIALS = 16
+
+MAX_COST_RATIO = 1.1
+MAX_TRIALS_FRACTION = 0.6
+
+#: conv2d instances where the direct/GEMM trade-off is genuinely contested:
+#: stride-2 shapes make the direct formulation's input reads strided (bad
+#: for wide vectors) while the GEMM formulations pay a one-off packing cost
+#: (bad for tiny caches)
+SHAPES = {
+    "c8-14x14-s2": dict(
+        batch=1, in_channels=8, height=14, width=14,
+        out_channels=16, kernel=3, stride=2, padding=1,
+    ),
+    "c16-14x14-s2": dict(
+        batch=1, in_channels=16, height=14, width=14,
+        out_channels=16, kernel=3, stride=2, padding=1,
+    ),
+}
+
+TARGETS = {
+    "wide-vector": wide_vector_cpu,
+    "edge": edge_cpu,
+}
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_search_throughput.json"
+
+
+def _exhaustive(shape, hardware):
+    """Tune every variant with its own full budget; the reference the
+    arbiter must approach on a fraction of the trials."""
+    options = TuningOptions(
+        num_measure_trials=TRIALS_PER_VARIANT,
+        num_measures_per_round=ROUND_SIZE,
+        seed=SEED,
+    )
+    costs = {}
+    trials = 0
+    for task in expand_variants("conv2d", shape, hardware=hardware):
+        result = Tuner(task, options=options).tune()
+        costs[task.variant] = result.best_cost
+        trials += result.num_trials
+    winner = min(costs, key=costs.get)
+    return {"costs": costs, "winner": winner, "best_cost": costs[winner], "trials": trials}
+
+
+def _arbitrated(shape, hardware, budget):
+    """One arbitrated group session under the fractional shared budget."""
+    options = TuningOptions(
+        num_measure_trials=budget,
+        num_measures_per_round=ROUND_SIZE,
+        seed=SEED,
+        variant_prune_margin=PRUNE_MARGIN,
+        variant_min_trials=MIN_TRIALS,
+    )
+    result = Tuner(LogicalOp("conv2d", shape, hardware=hardware), options=options).tune()
+    vr = result.variant_result
+    return {
+        "winner": vr.winner,
+        "best_cost": vr.best_cost,
+        "trials": result.num_trials,
+        "pruned": vr.pruned,
+        "per_variant_trials": {t.variant: t.num_trials for t in vr.trajectories},
+    }
+
+
+@pytest.fixture(scope="module")
+def variant_sweep():
+    """Run the full sweep once: every (shape, target) gets an exhaustive
+    reference and an arbitrated session at MAX_TRIALS_FRACTION of its
+    trials; both tests below assert against this shared data."""
+    configs = {}
+    for shape_name, shape in SHAPES.items():
+        for target_name, factory in TARGETS.items():
+            hardware = factory()
+            exhaustive = _exhaustive(shape, hardware)
+            budget = max(1, int(MAX_TRIALS_FRACTION * exhaustive["trials"]))
+            arbitrated = _arbitrated(shape, hardware, budget)
+            configs[f"{shape_name}/{target_name}"] = {
+                "shape": shape_name,
+                "target": target_name,
+                "exhaustive": exhaustive,
+                "arbitrated": arbitrated,
+                "cost_ratio": arbitrated["best_cost"] / exhaustive["best_cost"],
+                "trials_fraction": arbitrated["trials"] / exhaustive["trials"],
+            }
+    flips = [
+        shape_name
+        for shape_name in SHAPES
+        if len(
+            {
+                configs[f"{shape_name}/{target_name}"]["arbitrated"]["winner"]
+                for target_name in TARGETS
+            }
+        )
+        > 1
+    ]
+    worst_ratio = max(c["cost_ratio"] for c in configs.values())
+    summary = {
+        "trials_per_variant": TRIALS_PER_VARIANT,
+        "prune_margin": PRUNE_MARGIN,
+        "min_trials": MIN_TRIALS,
+        "configs": configs,
+        "winner_flip_shapes": flips,
+        "worst_cost_ratio": worst_ratio,
+    }
+    merge_benchmark_result(
+        RESULT_PATH,
+        {
+            "variant_search": summary,
+            "variant_cost_ratio_worst": worst_ratio,
+            "variant_winner_flips": len(flips),
+        },
+    )
+    return summary
+
+
+# Marked slow like the other timing benchmarks: CI runs this file once by
+# explicit path; the quick `-m "not slow"` loop skips it.
+@pytest.mark.slow
+def test_arbitrated_search_matches_exhaustive_on_fraction_of_trials(variant_sweep):
+    print("\n=== variant arbitration vs exhaustive per-variant tuning ===")
+    for name, config in variant_sweep["configs"].items():
+        ex, arb = config["exhaustive"], config["arbitrated"]
+        print(
+            f"{name:24s} exhaustive {ex['best_cost']:.3e}s/{ex['trials']}t "
+            f"({ex['winner']}) | arbitrated {arb['best_cost']:.3e}s/{arb['trials']}t "
+            f"({arb['winner']}, pruned {arb['pruned']}) -> "
+            f"{config['cost_ratio']:.3f}x cost, {config['trials_fraction']:.2f}x trials"
+        )
+    print(f"results merged into  : {RESULT_PATH.name}")
+    for name, config in variant_sweep["configs"].items():
+        assert config["trials_fraction"] <= MAX_TRIALS_FRACTION + 1e-9, (
+            f"{name}: arbitrated search consumed {config['trials_fraction']:.2f}x "
+            f"the exhaustive trials (budget should cap it at {MAX_TRIALS_FRACTION}x)"
+        )
+        assert config["cost_ratio"] <= MAX_COST_RATIO, (
+            f"{name}: arbitrated best cost is {config['cost_ratio']:.3f}x the "
+            f"exhaustive best (gate <= {MAX_COST_RATIO}x)"
+        )
+
+
+@pytest.mark.slow
+def test_winning_variant_flips_across_hardware_targets(variant_sweep):
+    print("\n=== per-target winners ===")
+    for name, config in variant_sweep["configs"].items():
+        print(
+            f"{name:24s} arbitrated={config['arbitrated']['winner']:10s} "
+            f"exhaustive={config['exhaustive']['winner']}"
+        )
+    flips = variant_sweep["winner_flip_shapes"]
+    print(f"shapes whose winner flips across targets: {flips or 'none'}")
+    assert flips, (
+        "no benchmark shape crowned different variants on different targets "
+        "— variant search would be pointless if one algorithm always won"
+    )

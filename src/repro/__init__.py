@@ -146,6 +146,28 @@ store before spending trials and streaming new bests back through
 :class:`StoreWriter`.  The store benchmark
 (``benchmarks/test_store_lookup.py``) gates indexed lookup against full-log
 rescans and warm-start trial counts against cold searches.
+
+Search extends *above* the schedule space through algorithm variants
+(:mod:`repro.variants`): one logical operator expands into several
+competing ``ComputeDAG`` formulations (``conv2d`` ships ``direct``,
+``im2col`` and ``tiled-gemm``) registered under a decorator-based
+``register_variant`` registry, and ``Tuner(LogicalOp("conv2d", params))``
+— or ``Tuner(task, variants=True)`` on an expanded task — arbitrates the
+trial budget across the group through the task scheduler.  A
+successive-halving-style pruner cuts any variant whose best cost trails
+the group leader's by more than ``TuningOptions(variant_prune_margin=...)``
+once both sides have ``variant_min_trials`` measurements, so losing
+formulations stop draining budget early; the resulting ``VariantResult``
+names the winner and keeps every trajectory.  Winners are per
+``(shape, target)`` by design — the widened hardware zoo
+(``wide_vector_cpu`` / ``manycore_numa_cpu`` / ``edge_cpu``) demonstrably
+flips them — and the schedule store indexes entries by
+``(logical_key, variant, target)``, so a store hit answers "which
+algorithm *and* which schedule"; ``TuningService.submit_variants`` serves
+whole groups the same way.  The variant benchmark
+(``benchmarks/test_variant_search.py``, ``make variant-bench``) gates
+arbitrated search against exhaustively tuning every variant and the
+cross-target winner flip.
 """
 
 from . import te
@@ -160,7 +182,16 @@ from .callbacks import (
     StopTuning,
 )
 from .cost_model import CostModelLoadError, CostModelService, LearnedCostModel, RandomCostModel
-from .hardware.platform import HardwareParams, arm_cpu, intel_cpu, nvidia_gpu, target_from_name
+from .hardware.platform import (
+    HardwareParams,
+    arm_cpu,
+    edge_cpu,
+    intel_cpu,
+    manycore_numa_cpu,
+    nvidia_gpu,
+    target_from_name,
+    wide_vector_cpu,
+)
 from .hardware.measure import (
     FaultModel,
     LocalBuilder,
@@ -193,10 +224,31 @@ from .search import baselines as _baselines  # ensure baseline policies register
 from .search.policy import SearchPolicy, register_policy, registered_policies, resolve_policy
 from .search.sketch_policy import SketchPolicy
 from .search.space import FULL_SPACE, LIMITED_SPACE, SearchSpaceOptions
-from .store import ScheduleStore, StoreEntry, StoreWriter, TuningRequest, TuningService
+from .store import (
+    ScheduleStore,
+    StoreEntry,
+    StoreWriter,
+    TuningRequest,
+    TuningService,
+    VariantGroupRequest,
+)
 from .task import SearchTask, TuningOptions, split_workload_key
 from .te.dag import ComputeDAG
 from .tuner import Tuner, TuningResult
+from .variants import (
+    LogicalOp,
+    VariantArbiter,
+    VariantPruner,
+    VariantResult,
+    VariantSpec,
+    VariantTrajectory,
+    expand_variants,
+    logical_key_of,
+    register_variant,
+    registered_variant_ops,
+    resolve_variant,
+    variants_for,
+)
 
 __version__ = "0.2.0"
 
@@ -230,6 +282,9 @@ __all__ = [
     "intel_cpu",
     "arm_cpu",
     "nvidia_gpu",
+    "wide_vector_cpu",
+    "manycore_numa_cpu",
+    "edge_cpu",
     "target_from_name",
     "CostSimulator",
     "ProgramMeasurer",
@@ -268,6 +323,19 @@ __all__ = [
     "StoreWriter",
     "TuningRequest",
     "TuningService",
+    "VariantGroupRequest",
+    "LogicalOp",
+    "VariantSpec",
+    "VariantArbiter",
+    "VariantPruner",
+    "VariantResult",
+    "VariantTrajectory",
+    "expand_variants",
+    "logical_key_of",
+    "register_variant",
+    "registered_variant_ops",
+    "resolve_variant",
+    "variants_for",
     "CostModelService",
     "CostModelLoadError",
     "LearnedCostModel",

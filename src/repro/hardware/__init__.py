@@ -61,7 +61,18 @@ from .fleet import (
     EstimatedProfile,
 )
 from .measurer import ProgramMeasurer
-from .platform import CacheLevel, HardwareParams, arm_cpu, intel_cpu, intel_cpu_avx512, nvidia_gpu, target_from_name
+from .platform import (
+    CacheLevel,
+    HardwareParams,
+    arm_cpu,
+    edge_cpu,
+    intel_cpu,
+    intel_cpu_avx512,
+    manycore_numa_cpu,
+    nvidia_gpu,
+    target_from_name,
+    wide_vector_cpu,
+)
 from .rpc import DeviceProfile, RpcBuilder, RpcRunner
 from .simulator import CostSimulator, NestCost, ProgramCost
 
@@ -72,6 +83,9 @@ __all__ = [
     "intel_cpu_avx512",
     "arm_cpu",
     "nvidia_gpu",
+    "wide_vector_cpu",
+    "manycore_numa_cpu",
+    "edge_cpu",
     "target_from_name",
     "CostSimulator",
     "NestCost",

@@ -16,7 +16,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-__all__ = ["CacheLevel", "HardwareParams", "intel_cpu", "arm_cpu", "nvidia_gpu", "target_from_name"]
+__all__ = [
+    "CacheLevel",
+    "HardwareParams",
+    "intel_cpu",
+    "intel_cpu_avx512",
+    "arm_cpu",
+    "nvidia_gpu",
+    "wide_vector_cpu",
+    "manycore_numa_cpu",
+    "edge_cpu",
+    "target_from_name",
+]
 
 
 @dataclass(frozen=True)
@@ -155,17 +166,101 @@ def nvidia_gpu() -> HardwareParams:
     )
 
 
+def wide_vector_cpu() -> HardwareParams:
+    """A wide-vector AVX-512-class desktop CPU: few cores, 16 float32 lanes,
+    generous caches.  Compute-rich relative to its core count, so schedules
+    (and algorithm variants) that feed the vector units contiguous data win
+    big — the target where GEMM-shaped conv formulations shine."""
+    return HardwareParams(
+        name="avx512-8c",
+        kind="cpu",
+        num_cores=8,
+        clock_hz=3.6e9,
+        vector_lanes=16,
+        fma_per_cycle=2,
+        cache_levels=(
+            CacheLevel("L1", 48 * 1024, 900e9),
+            CacheLevel("L2", 2 * 1024 * 1024, 450e9),
+            CacheLevel("L3", 32 * 1024 * 1024, 220e9, shared=True),
+        ),
+        dram_bandwidth_bytes_per_sec=70e9,
+        dram_parallel_scaling=6,
+        loop_overhead_sec=0.6e-9,
+        parallel_launch_overhead_sec=3e-6,
+        min_parallel_task_flops=16 * 1024,
+    )
+
+
+def manycore_numa_cpu() -> HardwareParams:
+    """A 64-core NUMA server: massive thread parallelism, modest per-core
+    vectors, high aggregate but contended memory bandwidth, and a steep
+    parallel-launch cost (cross-socket coordination).  Rewards schedules
+    with large independent outer tiles."""
+    return HardwareParams(
+        name="manycore-64c",
+        kind="cpu",
+        num_cores=64,
+        clock_hz=2.2e9,
+        vector_lanes=8,
+        fma_per_cycle=2,
+        cache_levels=(
+            CacheLevel("L1", 32 * 1024, 700e9),
+            CacheLevel("L2", 512 * 1024, 350e9),
+            CacheLevel("L3", 128 * 1024 * 1024, 300e9, shared=True),
+        ),
+        dram_bandwidth_bytes_per_sec=180e9,
+        dram_parallel_scaling=16,
+        loop_overhead_sec=0.8e-9,
+        parallel_launch_overhead_sec=12e-6,
+        min_parallel_task_flops=32 * 1024,
+    )
+
+
+def edge_cpu() -> HardwareParams:
+    """A low-memory dual-core edge CPU (microcontroller-adjacent): tiny
+    caches and a slow memory bus.  Materializing helper buffers (im2col
+    patch matrices and friends) costs more than it saves here, so
+    memory-lean formulations win."""
+    return HardwareParams(
+        name="edge-2c",
+        kind="cpu",
+        num_cores=2,
+        clock_hz=1.0e9,
+        vector_lanes=4,
+        fma_per_cycle=1,
+        cache_levels=(
+            CacheLevel("L1", 16 * 1024, 12e9),
+            CacheLevel("L2", 128 * 1024, 6e9, shared=True),
+        ),
+        dram_bandwidth_bytes_per_sec=1.5e9,
+        dram_parallel_scaling=1,
+        loop_overhead_sec=4.0e-9,
+        parallel_launch_overhead_sec=25e-6,
+        min_parallel_task_flops=4 * 1024,
+    )
+
+
 _TARGETS = {
     "intel-cpu": intel_cpu,
     "intel-cpu-avx512": intel_cpu_avx512,
     "arm-cpu": arm_cpu,
     "nvidia-gpu": nvidia_gpu,
+    "wide-vector-cpu": wide_vector_cpu,
+    "manycore-numa-cpu": manycore_numa_cpu,
+    "edge-cpu": edge_cpu,
 }
 
 
 def target_from_name(name: str) -> HardwareParams:
-    """Look up a target by name (``intel-cpu``, ``arm-cpu``, ``nvidia-gpu``)."""
+    """Look up a target by name (``intel-cpu``, ``arm-cpu``, ``nvidia-gpu``,
+    ``wide-vector-cpu``, ``manycore-numa-cpu``, ``edge-cpu``, ...).
+
+    Unknown names raise ``KeyError`` listing every registered target.
+    """
     key = name.lower()
     if key not in _TARGETS:
-        raise ValueError(f"unknown target {name!r}; known: {sorted(_TARGETS)}")
+        raise KeyError(
+            f"unknown target {name!r}; known targets: "
+            f"{', '.join(sorted(_TARGETS))}"
+        )
     return _TARGETS[key]()

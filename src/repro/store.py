@@ -40,12 +40,13 @@ Three consumer paths hang off the store:
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 import threading
 import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -68,6 +69,7 @@ __all__ = [
     "ScheduleStore",
     "StoreWriter",
     "TuningRequest",
+    "VariantGroupRequest",
     "TuningService",
 ]
 
@@ -92,6 +94,11 @@ class StoreEntry:
     #: the DAG shape-class hash (sizes erased); ``None`` for entries
     #: ingested from legacy logs before any live task registered it
     structure: Optional[str] = None
+    #: shared identity of the variant group this entry belongs to (see
+    #: :mod:`repro.variants`); ``None`` for plain single-DAG entries
+    logical_key: Optional[str] = None
+    #: the variant name within the group; ``None`` for plain entries
+    variant: Optional[str] = None
 
     @property
     def key(self) -> StoreKey:
@@ -107,14 +114,19 @@ class StoreEntry:
 
     # -- serialization ---------------------------------------------------
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "fingerprint": self.fingerprint,
-                "target": self.target,
-                "structure": self.structure,
-                "record": self.record.to_dict(),
-            }
-        )
+        payload = {
+            "fingerprint": self.fingerprint,
+            "target": self.target,
+            "structure": self.structure,
+            "record": self.record.to_dict(),
+        }
+        # Variant metadata is written only when present, so plain entries
+        # stay byte-compatible with pre-variant segment files.
+        if self.logical_key is not None:
+            payload["logical_key"] = self.logical_key
+        if self.variant is not None:
+            payload["variant"] = self.variant
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, line: str) -> "StoreEntry":
@@ -124,6 +136,8 @@ class StoreEntry:
             target=data["target"],
             record=TuningRecord.from_dict(data["record"]),
             structure=data.get("structure"),
+            logical_key=data.get("logical_key"),
+            variant=data.get("variant"),
         )
 
 
@@ -157,6 +171,12 @@ class ScheduleStore:
         self._by_structure: Dict[str, Set[StoreKey]] = {}
         #: fingerprints whose structure class live tasks have told us about
         self._structures: Dict[str, str] = {}
+        #: (logical_key, target) -> key of the best entry across the whole
+        #: variant group — the index behind :meth:`lookup_logical`, which
+        #: answers "which algorithm AND which schedule" in O(1)
+        self._by_logical: Dict[Tuple[str, str], StoreKey] = {}
+        #: fingerprint -> (logical_key, variant) learned from live tasks
+        self._logical_meta: Dict[str, Tuple[str, str]] = {}
         #: lines in the segment file (including superseded ones) — the
         #: compaction trigger data point
         self._segment_lines = 0
@@ -194,6 +214,7 @@ class ScheduleStore:
         Malformed lines are tolerated exactly like a tuning log's."""
         self._index.clear()
         self._by_structure.clear()
+        self._by_logical.clear()
         self._segment_lines = 0
         skipped = 0
         first_bad: Optional[int] = None
@@ -244,27 +265,52 @@ class ScheduleStore:
         stayed) the best for its key."""
         if not entry.record.valid:
             return False
-        # A live task may have registered the structure class a legacy
-        # entry was ingested without.
+        # A live task may have registered the structure class / variant
+        # membership a legacy entry was ingested without.
         if entry.structure is None:
             entry.structure = self._structures.get(entry.fingerprint)
+        if entry.logical_key is None:
+            meta = self._logical_meta.get(entry.fingerprint)
+            if meta is not None:
+                entry.logical_key, entry.variant = meta
         current = self._index.get(entry.key)
         if current is not None and current.best_cost <= entry.best_cost:
-            # Keep the incumbent, but let a structure-carrying loser teach
-            # an ingested incumbent its shape class.
+            # Keep the incumbent, but let a metadata-carrying loser teach
+            # an ingested incumbent its shape class / group membership.
             if current.structure is None and entry.structure is not None:
                 self._set_structure(current, entry.structure)
+            if current.logical_key is None and entry.logical_key is not None:
+                current.logical_key = entry.logical_key
+                current.variant = entry.variant
+                self._update_logical(current)
             return False
         if current is not None and current.structure is not None and entry.structure is None:
             entry.structure = current.structure
+        if current is not None and current.logical_key is not None and entry.logical_key is None:
+            entry.logical_key = current.logical_key
+            entry.variant = current.variant
         self._index[entry.key] = entry
         if entry.structure is not None:
             self._by_structure.setdefault(entry.structure, set()).add(entry.key)
+        if entry.logical_key is not None:
+            self._update_logical(entry)
         return True
 
     def _set_structure(self, entry: StoreEntry, structure: str) -> None:
         entry.structure = structure
         self._by_structure.setdefault(structure, set()).add(entry.key)
+
+    def _update_logical(self, entry: StoreEntry) -> None:
+        """Keep ``_by_logical`` pointing at the cheapest entry of each
+        ``(logical_key, target)`` group (caller ensures the entry is in, or
+        about to enter, the index)."""
+        group = (entry.logical_key, entry.target)
+        current_key = self._by_logical.get(group)
+        if current_key is not None and current_key != entry.key:
+            current = self._index.get(current_key)
+            if current is not None and current.best_cost <= entry.best_cost:
+                return
+        self._by_logical[group] = entry.key
 
     def register_task(self, task: SearchTask) -> None:
         """Teach the store a workload's structure class (shape-class hash).
@@ -277,15 +323,29 @@ class ScheduleStore:
             fingerprint = task.workload_fingerprint
             structure = task.structure_key
             self._structures[fingerprint] = structure
+            logical_key = getattr(task, "logical_key", None)
+            variant = getattr(task, "variant", None)
+            if logical_key is not None and variant is not None:
+                self._logical_meta[fingerprint] = (logical_key, variant)
             for key, entry in self._index.items():
-                if key[0] == fingerprint and entry.structure is None:
+                if key[0] != fingerprint:
+                    continue
+                if entry.structure is None:
                     self._set_structure(entry, structure)
+                if entry.logical_key is None and logical_key is not None:
+                    entry.logical_key = logical_key
+                    entry.variant = variant
+                    self._update_logical(entry)
 
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def put_record(
-        self, record: TuningRecord, structure: Optional[str] = None
+        self,
+        record: TuningRecord,
+        structure: Optional[str] = None,
+        logical_key: Optional[str] = None,
+        variant: Optional[str] = None,
     ) -> bool:
         """Offer one record to the store; it is kept only if it is a valid
         measurement strictly better than the key's current best.  Returns
@@ -298,6 +358,8 @@ class ScheduleStore:
             target=target or record.target,
             record=record,
             structure=structure,
+            logical_key=logical_key,
+            variant=variant,
         )
         with self._file_lock():
             if not self._absorb(entry):
@@ -316,6 +378,8 @@ class ScheduleStore:
         return self.put_record(
             TuningRecord.from_measurement(inp, res),
             structure=inp.task.structure_key,
+            logical_key=getattr(inp.task, "logical_key", None),
+            variant=getattr(inp.task, "variant", None),
         )
 
     def ingest(self, log_path: PathLike, task: Optional[SearchTask] = None) -> int:
@@ -366,6 +430,15 @@ class ScheduleStore:
     def lookup(self, task: SearchTask) -> Optional[StoreEntry]:
         """O(1): the best entry for a task's own key."""
         return self.lookup_key(task.workload_fingerprint, task.target_name)
+
+    def lookup_logical(self, logical_key: str, target: str) -> Optional[StoreEntry]:
+        """O(1): the best entry across a whole variant group on one target —
+        its ``variant`` field names the winning algorithm, its record the
+        winning schedule.  ``None`` when no variant of the group has an
+        entry for the target."""
+        with self._mutex:
+            key = self._by_logical.get((logical_key, target))
+            return self._index.get(key) if key is not None else None
 
     def best_state(self, task: SearchTask) -> Optional["State"]:
         """Replay a task's stored best program, or ``None`` on a miss (the
@@ -492,6 +565,58 @@ class TuningRequest:
     from_store: bool = False
     #: whether the request has been processed by a :meth:`TuningService.run`
     done: bool = False
+    #: the variant group this request belongs to (``None`` for plain
+    #: single-task requests); see :meth:`TuningService.submit_variants`
+    group: Optional["VariantGroupRequest"] = None
+
+
+@dataclass
+class VariantGroupRequest:
+    """One variant group submitted to a :class:`TuningService`.
+
+    The group's member requests (one per variant) share the submitting
+    priority: each member's scheduler weight is ``priority / n_variants``,
+    so a group competes for the shared budget as *one* workload at its
+    priority rather than multiplying its pull by its variant count.  A
+    store hit on the group's ``(logical_key, target)`` serves the whole
+    group instantly — winner, schedule and cost — without spending a trial.
+    """
+
+    #: the group's shared logical identity
+    logical_key: str
+    #: hardware target name the group tunes for
+    target: str
+    #: scheduler priority of the whole group
+    priority: float = 1.0
+    #: ignore a store hit and re-arbitrate the group
+    refresh: bool = False
+    #: member requests, one per variant, in group order
+    requests: List[TuningRequest] = dataclass_field(default_factory=list)
+
+    # -- outcome (filled by TuningService.run) --------------------------
+    #: name of the winning variant
+    winner: Optional[str] = None
+    #: the winner's best program
+    best_state: Optional["State"] = None
+    #: the winner's best cost (seconds)
+    best_cost: float = float("inf")
+    #: measurement trials the whole group consumed (0 on a store hit)
+    num_trials: int = 0
+    #: whether the group was served from the store without searching
+    from_store: bool = False
+    #: whether the group has been processed by a :meth:`TuningService.run`
+    done: bool = False
+
+    def request_for(self, variant: str) -> TuningRequest:
+        """The member request of one variant; unknown names raise
+        ``KeyError`` listing the group's variants."""
+        for request in self.requests:
+            if request.task.variant == variant:
+                return request
+        raise KeyError(
+            f"no variant {variant!r} in group {self.logical_key!r}; variants: "
+            f"{', '.join(r.task.variant for r in self.requests) or '(none)'}"
+        )
 
 
 class TuningService:
@@ -563,6 +688,8 @@ class TuningService:
         )
         self._pending: List[TuningRequest] = []
         self.requests: List[TuningRequest] = []
+        #: every variant group ever submitted (see :meth:`submit_variants`)
+        self.groups: List[VariantGroupRequest] = []
         #: the scheduler of the latest :meth:`run` that searched (for
         #: introspection: allocations, tuning curve, measurers)
         self.scheduler = None
@@ -588,7 +715,94 @@ class TuningService:
         self.requests.append(request)
         return request
 
+    def submit_variants(
+        self,
+        workload,
+        priority: float = 1.0,
+        refresh: bool = False,
+        max_trials: Optional[int] = None,
+        hardware=None,
+    ) -> VariantGroupRequest:
+        """Queue one variant group; returns its :class:`VariantGroupRequest`
+        handle, filled in by the next :meth:`run`.
+
+        ``workload`` is a :class:`~repro.variants.LogicalOp` (expanded here,
+        on ``hardware`` when given) or an already-expanded sequence of
+        variant tasks sharing one ``logical_key`` and target.  The group
+        competes for the shared budget as one workload at ``priority``
+        (each member weighs ``priority / n_variants``); trailing variants
+        are pruned per the service options'
+        ``variant_prune_margin`` / ``variant_min_trials``.  ``max_trials``
+        caps each member variant individually.
+        """
+        if priority <= 0:
+            raise ValueError("request priority must be positive")
+        if max_trials is not None and max_trials <= 0:
+            raise ValueError("max_trials must be positive (or None)")
+        if hasattr(workload, "expand"):
+            tasks = workload.expand(hardware)
+        else:
+            tasks = list(workload)
+        if not tasks:
+            raise ValueError("a variant group needs at least one task")
+        keys = {getattr(t, "logical_key", None) for t in tasks}
+        targets = {t.target_name for t in tasks}
+        if None in keys or len(keys) != 1 or len(targets) != 1:
+            raise ValueError(
+                "a variant group shares one logical_key and one hardware "
+                "target; expand through repro.variants.expand_variants / "
+                "LogicalOp.expand"
+            )
+        group = VariantGroupRequest(
+            logical_key=tasks[0].logical_key,
+            target=tasks[0].target_name,
+            priority=priority,
+            refresh=refresh,
+        )
+        for task in tasks:
+            request = TuningRequest(
+                task=task,
+                priority=priority / len(tasks),
+                refresh=refresh,
+                max_trials=max_trials,
+                group=group,
+            )
+            group.requests.append(request)
+            self._pending.append(request)
+            self.requests.append(request)
+        self.groups.append(group)
+        return group
+
     # ------------------------------------------------------------------
+    def _serve_group_from_store(self, group: VariantGroupRequest) -> bool:
+        """Serve a whole group from its ``(logical_key, target)`` entry —
+        winner, schedule and cost, zero trials.  A stored winner no current
+        member implements (the registry changed) is treated as a miss so
+        the group gets re-arbitrated."""
+        entry = self.store.lookup_logical(group.logical_key, group.target)
+        if entry is None:
+            return False
+        winner_request = None
+        for request in group.requests:
+            if request.task.variant == entry.variant:
+                winner_request = request
+                break
+        if winner_request is None:
+            return False
+        group.winner = entry.variant
+        group.best_cost = entry.best_cost
+        group.best_state = entry.to_state(winner_request.task)
+        group.num_trials = 0
+        group.from_store = True
+        group.done = True
+        for request in group.requests:
+            request.num_trials = 0
+            request.from_store = True
+            request.done = True
+        winner_request.best_state = group.best_state
+        winner_request.best_cost = entry.best_cost
+        return True
+
     def _serve_from_store(self, request: TuningRequest) -> bool:
         entry = self.store.lookup(request.task)
         if entry is None:
@@ -631,15 +845,46 @@ class TuningService:
 
         for request in pending:
             self.store.register_task(request.task)
-        missed = [
-            r for r in pending if r.refresh or not self._serve_from_store(r)
-        ]
+        # Variant groups are consulted as groups: a (logical_key, target)
+        # hit answers "which algorithm and which schedule" for the whole
+        # group at once.  register_task above upgrades legacy entries with
+        # the group metadata, so pre-variant segment files hit too.
+        groups: List[VariantGroupRequest] = []
+        seen_groups: Set[int] = set()
+        for request in pending:
+            if request.group is not None and id(request.group) not in seen_groups:
+                seen_groups.add(id(request.group))
+                groups.append(request.group)
+        for group in groups:
+            if not group.refresh:
+                self._serve_group_from_store(group)
+        missed = []
+        for request in pending:
+            if request.done:
+                continue
+            if request.group is not None:
+                # The group-level consult already ran; members of a missed
+                # group all enter arbitration (their policies still
+                # warm-start from the store individually).
+                missed.append(request)
+            elif request.refresh or not self._serve_from_store(request):
+                missed.append(request)
         if not missed:
             return pending
 
         factory = resolve_policy(self.policy)
 
         def policy_factory(task, cost_model, seed):
+            if getattr(task, "variant", None) is not None:
+                # Same contract as VariantArbiter: a variant group member
+                # searches with the session seed and a variant-scoped model
+                # (training one model on a mixture of variant structures
+                # misleads the search), so its trajectory is a truncation
+                # of the single-task session's.
+                cost_model = self.cost_model_service.view(
+                    f"{task.target_name}::variant={task.variant}"
+                )
+                seed = options.seed
             policy = factory(
                 task, cost_model=cost_model, seed=seed, verbose=options.verbose
             )
@@ -661,6 +906,22 @@ class TuningService:
             for cb in callbacks
         ):
             callbacks.append(StoreWriter(self.store))
+        # One pruner per still-live group: trailing variants stop drawing
+        # from the shared budget once the group's leader is established.
+        from .variants.arbiter import VariantPruner  # local: cycle
+
+        for group in groups:
+            if group.done:
+                continue
+            indices = [i for i, r in enumerate(missed) if r.group is group]
+            if len(indices) >= 2:
+                callbacks.append(
+                    VariantPruner(
+                        margin=options.variant_prune_margin,
+                        min_trials=options.variant_min_trials,
+                        group_indices=indices,
+                    )
+                )
         from .hardware.measure import MeasurePipeline  # local: cycle
 
         try:
@@ -682,5 +943,17 @@ class TuningService:
             request.num_trials = policy.num_trials
             request.from_store = False
             request.done = True
+        for group in groups:
+            if group.done:
+                continue
+            members = [r for r in group.requests if r.done]
+            finite = [r for r in members if math.isfinite(r.best_cost)]
+            winner = min(finite, key=lambda r: r.best_cost) if finite else None
+            group.winner = winner.task.variant if winner is not None else None
+            group.best_state = winner.best_state if winner is not None else None
+            group.best_cost = winner.best_cost if winner is not None else float("inf")
+            group.num_trials = sum(r.num_trials for r in members)
+            group.from_store = False
+            group.done = True
         self.scheduler = scheduler
         return pending

@@ -37,17 +37,38 @@ def split_workload_key(key: str) -> tuple:
 
 
 class SearchTask:
-    """One tuning task: a computation DAG on a hardware target."""
+    """One tuning task: a computation DAG on a hardware target.
+
+    A task may additionally belong to an *algorithm-variant group* (see
+    :mod:`repro.variants`): ``logical_key`` names the logical op instance
+    the group implements, ``variant`` this task's implementation, and
+    ``variant_params`` the parameters the group re-expands from.  Plain
+    tasks leave all three ``None``.
+    """
 
     def __init__(
         self,
         compute_dag: ComputeDAG,
         hardware_params: Optional[HardwareParams] = None,
         desc: str = "",
+        *,
+        logical_op: Optional[str] = None,
+        logical_key: Optional[str] = None,
+        variant: Optional[str] = None,
+        variant_params: Optional[dict] = None,
     ):
         self.compute_dag = compute_dag
         self.hardware_params = hardware_params or intel_cpu()
         self.desc = desc or compute_dag.pretty_print().splitlines()[-1][:60]
+        #: the logical operator name this task implements (variant groups)
+        self.logical_op = logical_op
+        #: shared identity of the variant group (None for plain tasks)
+        self.logical_key = logical_key
+        #: this task's implementation name within its group
+        self.variant = variant
+        #: the parameters the variant group expands from (enough to rebuild
+        #: the full competing group from any one member)
+        self.variant_params = dict(variant_params) if variant_params else None
 
     @property
     def workload_fingerprint(self) -> str:
@@ -195,6 +216,23 @@ class TuningOptions:
     #: model default (1024, which covers the whole default training-set cap
     #: — windowed mode then matches "full" bit for bit)
     cost_model_window: Optional[int] = None
+    #: tune a logical op through its competing algorithm variants (see
+    #: :mod:`repro.variants`): the session expands the workload through the
+    #: variant registry and a :class:`~repro.variants.VariantArbiter`
+    #: arbitrates the trial budget across the group.  Equivalent to
+    #: ``Tuner(..., variants=True)``; implied when the workload is a
+    #: :class:`~repro.variants.LogicalOp`.
+    variant_search: bool = False
+    #: early-pruning margin of a variant session: once a variant has
+    #: ``variant_min_trials`` measurements and its best cost trails the
+    #: group leader's by more than this factor, it is pruned and its share
+    #: of the remaining budget flows to the survivors (successive-halving
+    #: style: each scheduler round cuts the trailing tail).  Must be > 1.
+    variant_prune_margin: float = 1.35
+    #: measurements a variant (and the leader it is compared against) must
+    #: have before it can be pruned — the "enough samples" guard that keeps
+    #: one lucky early round from deciding the group
+    variant_min_trials: int = 16
 
     def __post_init__(self) -> None:
         if self.num_measure_trials <= 0:
@@ -233,3 +271,10 @@ class TuningOptions:
             raise ValueError("cost_model_retrain_interval must be >= 1")
         if self.cost_model_window is not None and self.cost_model_window < 2:
             raise ValueError("cost_model_window must be >= 2 (or None for the default)")
+        if self.variant_prune_margin <= 1.0:
+            raise ValueError(
+                "variant_prune_margin must be > 1 (a variant is pruned once "
+                "its best cost exceeds leader * margin)"
+            )
+        if self.variant_min_trials < 1:
+            raise ValueError("variant_min_trials must be >= 1")

@@ -48,6 +48,7 @@ from .scheduler.task_scheduler import TaskScheduler
 from .search.policy import PolicyFactory, SearchPolicy, resolve_policy
 from .store import ScheduleStore, StoreWriter
 from .task import SearchTask, TuningOptions
+from .variants import LogicalOp, VariantArbiter, VariantResult, VariantTrajectory, expand_variants
 from .workloads.networks import extract_tasks
 
 __all__ = ["Tuner", "TuningResult"]
@@ -141,16 +142,25 @@ class TuningResult:
     #: True when the result was served from a :class:`~repro.store.ScheduleStore`
     #: hit without searching (``num_trials`` is then 0)
     from_store: bool = False
+    #: the arbitrated outcome of a variant session (``None`` otherwise):
+    #: winner name, per-variant trajectories, prune points
+    variant_result: Optional[VariantResult] = None
 
     # -- single-task conveniences ---------------------------------------
     @property
     def best_state(self) -> Optional[State]:
-        """Best program of the first (or only) task."""
+        """Best program of the first (or only) task — the *winning
+        variant's* program for a variant session."""
+        if self.variant_result is not None:
+            return self.variant_result.best_state
         return self.best_states[0] if self.best_states else None
 
     @property
     def best_cost(self) -> float:
-        """Best cost (seconds) of the first (or only) task."""
+        """Best cost (seconds) of the first (or only) task — the *winning
+        variant's* cost for a variant session."""
+        if self.variant_result is not None:
+            return self.variant_result.best_cost
         return self.best_costs[0] if self.best_costs else float("inf")
 
     def best_throughput(self, index: int = 0) -> float:
@@ -167,8 +177,17 @@ class Tuner:
     Parameters
     ----------
     workload:
-        A :class:`~repro.task.SearchTask`, one network name, or a sequence
-        of network names from the workload zoo.
+        A :class:`~repro.task.SearchTask`, a
+        :class:`~repro.variants.LogicalOp` (tunes the op's competing
+        algorithm variants under one arbitrated budget — see
+        :mod:`repro.variants`), one network name, or a sequence of network
+        names from the workload zoo.
+    variants:
+        ``True`` runs a variant session for a SearchTask that carries
+        variant metadata (one produced by
+        :func:`~repro.variants.expand_variants`): the whole group is
+        rebuilt from the task's logical op and re-arbitrated.  Implied by a
+        LogicalOp workload or ``TuningOptions(variant_search=True)``.
     policy:
         A registered policy name (see
         :func:`repro.search.policy.registered_policies`), a ready
@@ -232,7 +251,7 @@ class Tuner:
 
     def __init__(
         self,
-        workload: Union[SearchTask, str, Sequence[str]],
+        workload: Union[SearchTask, "LogicalOp", str, Sequence[str]],
         *,
         policy: PolicyLike = "sketch",
         options: Optional[TuningOptions] = None,
@@ -246,6 +265,7 @@ class Tuner:
         max_tasks_per_network: Optional[int] = None,
         objective: Optional[Objective] = None,
         scheduler_strategy: str = "gradient",
+        variants: bool = False,
     ):
         self.workload = workload
         self.policy = policy
@@ -305,8 +325,27 @@ class Tuner:
         self.objective = objective
         self.scheduler_strategy = scheduler_strategy
 
-        if isinstance(workload, SearchTask):
+        #: True when this session arbitrates a variant group instead of
+        #: tuning one fixed DAG (implied by a LogicalOp workload; opted
+        #: into for an expanded SearchTask via ``variants=True`` or
+        #: ``TuningOptions(variant_search=True)``)
+        self.variant_session = (
+            variants or self.options.variant_search or isinstance(workload, LogicalOp)
+        )
+        if isinstance(workload, LogicalOp):
             self.networks: Optional[List[str]] = None
+        elif isinstance(workload, SearchTask):
+            self.networks = None
+            if self.variant_session and (
+                workload.logical_op is None or workload.variant_params is None
+            ):
+                raise ValueError(
+                    "variant search needs a workload that knows its logical "
+                    "op: pass a repro.variants.LogicalOp, or a SearchTask "
+                    "produced by expand_variants — task "
+                    f"{workload.desc!r} carries no logical_op/variant_params "
+                    "metadata"
+                )
         elif isinstance(workload, str):
             self.networks = [workload]
         else:
@@ -328,6 +367,17 @@ class Tuner:
             raise TypeError(
                 "a SearchPolicy instance is bound to one task; multi-network "
                 "sessions need a policy name or factory"
+            )
+        if self.networks is not None and self.variant_session:
+            raise ValueError(
+                "variant search tunes one logical op; network sessions "
+                "cannot combine with variants=True / "
+                "TuningOptions(variant_search=True)"
+            )
+        if self.variant_session and isinstance(policy, SearchPolicy):
+            raise TypeError(
+                "a SearchPolicy instance is bound to one task; a variant "
+                "session needs a policy name or factory"
             )
 
     # ------------------------------------------------------------------
@@ -412,6 +462,8 @@ class Tuner:
     # ------------------------------------------------------------------
     def tune(self) -> TuningResult:
         """Run the session to completion and return its :class:`TuningResult`."""
+        if self.variant_session:
+            return self._tune_variants()
         if self.networks is None:
             return self._tune_single(self.workload)
         return self._tune_networks(self.networks)
@@ -503,6 +555,112 @@ class Tuner:
                      if t > trials_before],
             num_trials=policy.num_trials - trials_before,
             num_errors=measurer.error_count - errors_before,
+        )
+
+    # -- variant groups --------------------------------------------------
+    def _variant_group(self) -> List[SearchTask]:
+        """The expanded competing-variant tasks of this session's workload."""
+        if isinstance(self.workload, LogicalOp):
+            return self.workload.expand(self.hardware)
+        task = self.workload
+        hardware = self.hardware or task.hardware_params
+        return expand_variants(task.logical_op, task.variant_params, hardware=hardware)
+
+    def _variant_store_hit(
+        self, tasks: List[SearchTask], entry
+    ) -> Optional[TuningResult]:
+        """A :class:`TuningResult` served from a ``(logical_key, target)``
+        store hit: the winning variant and its schedule, zero trials.  A
+        stored winner no current variant implements (the registry changed)
+        returns ``None`` so the group is re-arbitrated."""
+        winner_task = next((t for t in tasks if t.variant == entry.variant), None)
+        if winner_task is None:
+            return None
+        state = entry.to_state(winner_task)
+        trajectories = [
+            VariantTrajectory(
+                variant=task.variant,
+                task=task,
+                best_cost=entry.best_cost if task is winner_task else float("inf"),
+                best_state=state if task is winner_task else None,
+            )
+            for task in tasks
+        ]
+        variant_result = VariantResult(
+            logical_key=tasks[0].logical_key,
+            target=tasks[0].target_name,
+            winner=entry.variant,
+            best_cost=entry.best_cost,
+            best_state=state,
+            trajectories=trajectories,
+            from_store=True,
+        )
+        return TuningResult(
+            tasks=list(tasks),
+            best_costs=[t.best_cost for t in trajectories],
+            best_states=[t.best_state for t in trajectories],
+            history=[(0, entry.best_cost)],
+            num_trials=0,
+            num_errors=0,
+            from_store=True,
+            variant_result=variant_result,
+        )
+
+    def _tune_variants(self) -> TuningResult:
+        options = self.options
+        tasks = self._variant_group()
+        if self.store is not None:
+            for task in tasks:
+                self.store.register_task(task)
+            if not options.store_refresh:
+                entry = self.store.lookup_logical(
+                    tasks[0].logical_key, tasks[0].target_name
+                )
+                if entry is not None and options.store_min_trials == 0:
+                    # Instant lookup: somebody already arbitrated this
+                    # logical op on this target — the hit answers which
+                    # algorithm AND which schedule without a single trial.
+                    hit = self._variant_store_hit(tasks, entry)
+                    if hit is not None:
+                        return hit
+        factory = self._policy_factory()
+        kwargs = self.policy_kwargs
+
+        def arbiter_factory(task, cost_model=None, seed=0, verbose=0):
+            merged = {"cost_model": cost_model, "seed": seed,
+                      "verbose": verbose, **kwargs}
+            merged.update(_search_worker_kwargs(factory, options, merged))
+            return factory(task, **merged)
+
+        callbacks = self._store_callbacks()
+        if options.early_stopping:
+            from .callbacks import EarlyStopper
+
+            if not any(isinstance(cb, EarlyStopper) for cb in callbacks):
+                callbacks.append(EarlyStopper(options.early_stopping))
+        arbiter = VariantArbiter(
+            tasks,
+            options=options,
+            policy=arbiter_factory,
+            callbacks=callbacks,
+            store=self.store,
+            cost_model_service=self._service(),
+            measurer=self.measurer,
+        )
+        try:
+            result = arbiter.tune()
+        finally:
+            self._save_cost_model()
+        scheduler = result.scheduler
+        return TuningResult(
+            tasks=list(tasks),
+            best_costs=[t.best_cost for t in result.trajectories],
+            best_states=[t.best_state for t in result.trajectories],
+            history=[(r.total_trials, r.objective_value) for r in scheduler.records],
+            scheduler=scheduler,
+            num_trials=result.total_trials,
+            num_errors=scheduler.measure_error_count(),
+            variant_result=result,
         )
 
     # -- networks --------------------------------------------------------

@@ -1,0 +1,344 @@
+"""The variant arbiter: budget allocation and early pruning over one group.
+
+A variant group is a set of :class:`~repro.task.SearchTask`\\ s sharing one
+``logical_key`` (see :mod:`repro.variants.registry`).  The
+:class:`VariantArbiter` tunes the whole group under one shared trial budget
+by treating the variants as weighted tasks of the existing
+:class:`~repro.scheduler.task_scheduler.TaskScheduler` — the gradient
+objective naturally spends rounds where they buy the most improvement — and
+layers a successive-halving-style :class:`VariantPruner` on top: once a
+variant has ``min_trials`` measurements and its best cost trails the group
+leader's by more than ``margin``, it is pruned (marked exhausted) and its
+share of the remaining budget flows to the survivors.  The outcome is a
+:class:`VariantResult` naming the winning implementation plus the full
+per-variant trajectories, so "which algorithm won, by how much, and when
+were the losers cut" is one object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..callbacks import MeasureCallback
+from ..cost_model.service import CostModelService
+from ..hardware.measure import MeasurePipeline
+from ..ir.state import State
+from ..scheduler.task_scheduler import TaskScheduler
+from ..search.policy import SearchPolicy, resolve_policy
+from ..store import ScheduleStore, StoreWriter
+from ..task import SearchTask, TuningOptions
+
+__all__ = ["VariantPruner", "VariantTrajectory", "VariantResult", "VariantArbiter"]
+
+
+class VariantPruner(MeasureCallback):
+    """Successive-halving-style early pruning of trailing variants.
+
+    Rides the scheduler's ``on_scheduler_round`` hook.  After every
+    allocation round it looks at the *qualified* members of its group —
+    those with at least ``min_trials`` measurements and a finite best cost —
+    and prunes every qualified variant whose best cost exceeds the qualified
+    leader's by more than ``margin`` (``best > leader * margin``), by
+    marking the task exhausted so the scheduler stops allocating to it.
+    Measurements already taken stay in the trajectories and the cost model;
+    only *future* budget is redirected.
+
+    ``group_indices`` restricts the pruner to a subset of the scheduler's
+    tasks (one pruner per variant group when several groups share a
+    scheduler, as in :meth:`~repro.store.TuningService.run`); ``None`` means
+    every task of the scheduler forms one group.
+    """
+
+    def __init__(
+        self,
+        margin: float,
+        min_trials: int,
+        group_indices: Optional[Sequence[int]] = None,
+    ):
+        if margin <= 1.0:
+            raise ValueError("VariantPruner margin must be > 1")
+        if min_trials < 1:
+            raise ValueError("VariantPruner min_trials must be >= 1")
+        self.margin = margin
+        self.min_trials = min_trials
+        self.group_indices = list(group_indices) if group_indices is not None else None
+        #: task index -> scheduler.total_trials at the moment it was pruned
+        self.pruned_at: Dict[int, int] = {}
+
+    def on_scheduler_round(self, scheduler, record) -> None:
+        indices = (
+            self.group_indices
+            if self.group_indices is not None
+            else range(len(scheduler.tasks))
+        )
+        qualified = [
+            i
+            for i in indices
+            if not scheduler.exhausted[i]
+            and scheduler.task_trials[i] >= self.min_trials
+            and math.isfinite(scheduler.best_costs[i])
+        ]
+        if len(qualified) < 2:
+            # Nobody to compare against: pruning needs a qualified leader
+            # AND a qualified trailer (the "enough samples" guard applies
+            # to both sides of the comparison).
+            return
+        leader = min(qualified, key=lambda i: scheduler.best_costs[i])
+        threshold = scheduler.best_costs[leader] * self.margin
+        for i in qualified:
+            if i != leader and scheduler.best_costs[i] > threshold:
+                scheduler.exhausted[i] = True
+                self.pruned_at[i] = scheduler.total_trials
+
+
+@dataclass
+class VariantTrajectory:
+    """One variant's tuning trajectory within an arbitrated group session."""
+
+    #: the variant name (``"direct"``, ``"im2col"``, ...)
+    variant: str
+    #: the variant's task
+    task: SearchTask
+    #: best measured cost (seconds); ``inf`` when nothing valid landed
+    best_cost: float = float("inf")
+    #: best program; ``None`` when nothing valid landed
+    best_state: Optional[State] = None
+    #: measurement trials this variant consumed
+    num_trials: int = 0
+    #: best cost after each allocated round
+    history: List[float] = field(default_factory=list)
+    #: group-level ``total_trials`` at which this variant was pruned;
+    #: ``None`` for survivors
+    pruned_at: Optional[int] = None
+
+    @property
+    def pruned(self) -> bool:
+        return self.pruned_at is not None
+
+
+@dataclass
+class VariantResult:
+    """The outcome of one arbitrated variant-group session."""
+
+    #: the group's shared logical identity
+    logical_key: str
+    #: hardware target name the group was tuned for
+    target: str
+    #: name of the winning variant; ``None`` when nothing valid was measured
+    winner: Optional[str]
+    #: the winner's best cost (seconds)
+    best_cost: float
+    #: the winner's best program
+    best_state: Optional[State]
+    #: per-variant trajectories, in group order
+    trajectories: List[VariantTrajectory] = field(default_factory=list)
+    #: total measurement trials the group consumed
+    total_trials: int = 0
+    #: the driving scheduler, for introspection (``None`` on a store hit)
+    scheduler: Optional[TaskScheduler] = None
+    #: True when the winner was served from a :class:`~repro.store.ScheduleStore`
+    #: logical-key hit without searching
+    from_store: bool = False
+
+    def trajectory(self, variant: str) -> VariantTrajectory:
+        """The trajectory of one variant; unknown names raise ``KeyError``
+        listing the group's variants."""
+        for traj in self.trajectories:
+            if traj.variant == variant:
+                return traj
+        raise KeyError(
+            f"no variant {variant!r} in this group; variants: "
+            f"{', '.join(t.variant for t in self.trajectories) or '(none)'}"
+        )
+
+    @property
+    def pruned(self) -> List[str]:
+        """Names of the variants the pruner cut, in group order."""
+        return [t.variant for t in self.trajectories if t.pruned]
+
+    @property
+    def winner_task(self) -> Optional[SearchTask]:
+        for traj in self.trajectories:
+            if traj.variant == self.winner:
+                return traj.task
+        return None
+
+
+class VariantArbiter:
+    """Tune one variant group under a shared, early-pruned trial budget.
+
+    Parameters
+    ----------
+    tasks:
+        The expanded variant group — every task must carry the same
+        ``logical_key`` and hardware target (see
+        :func:`~repro.variants.registry.expand_variants`).
+    options:
+        The session's :class:`~repro.task.TuningOptions`; the arbiter
+        consumes ``num_measure_trials`` / ``num_measures_per_round`` plus
+        the variant knobs ``variant_prune_margin`` / ``variant_min_trials``.
+    policy:
+        A registered policy name or a factory
+        ``(task, cost_model=..., seed=..., verbose=...) -> policy``; ready
+        :class:`SearchPolicy` instances are rejected (one instance cannot
+        drive a group).
+    callbacks / store / cost_model_service / measurer:
+        As in :class:`~repro.tuner.Tuner`; a bound store warm-starts every
+        variant's policy and receives every new best through a
+        :class:`~repro.store.StoreWriter`.
+    weights:
+        Per-variant scheduler weights (default: equal).
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[SearchTask],
+        *,
+        options: Optional[TuningOptions] = None,
+        policy: Union[str, Callable] = "sketch",
+        callbacks: Sequence[MeasureCallback] = (),
+        store: Optional[ScheduleStore] = None,
+        cost_model_service: Optional[CostModelService] = None,
+        measurer: Optional[MeasurePipeline] = None,
+        weights: Optional[Sequence[float]] = None,
+    ):
+        self.tasks = list(tasks)
+        if not self.tasks:
+            raise ValueError("VariantArbiter needs at least one variant task")
+        if isinstance(policy, SearchPolicy):
+            raise TypeError(
+                "a SearchPolicy instance is bound to one task; a variant "
+                "group needs a policy name or factory"
+            )
+        missing = [t.desc for t in self.tasks if t.variant is None or t.logical_key is None]
+        if missing:
+            raise ValueError(
+                "every task of a variant group must carry logical_key and "
+                f"variant metadata (expand through repro.variants); missing on: "
+                f"{', '.join(repr(d) for d in missing[:3])}"
+            )
+        keys = {t.logical_key for t in self.tasks}
+        if len(keys) != 1:
+            raise ValueError(
+                f"a variant group shares one logical_key; got {sorted(keys)}"
+            )
+        targets = {t.hardware_params for t in self.tasks}
+        if len(targets) != 1:
+            raise ValueError(
+                "a variant group is arbitrated on one hardware target; got "
+                f"{sorted(t.name for t in targets)} — tune per-target groups "
+                "separately (winners are per target by design)"
+            )
+        names = [t.variant for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variant names in group: {names}")
+        self.logical_key = self.tasks[0].logical_key
+        self.options = options or TuningOptions()
+        self.policy = policy
+        self.callbacks = list(callbacks)
+        self.store = store
+        self.cost_model_service = cost_model_service
+        self.measurer = measurer
+        if weights is not None and len(weights) != len(self.tasks):
+            raise ValueError(
+                f"weights has {len(weights)} entries for {len(self.tasks)} variants"
+            )
+        self.weights = list(weights) if weights is not None else [1.0] * len(self.tasks)
+        #: the latest :meth:`tune`'s scheduler, for introspection
+        self.scheduler: Optional[TaskScheduler] = None
+        self._service: Optional[CostModelService] = None
+
+    # ------------------------------------------------------------------
+    def _policy_factory(self):
+        factory = resolve_policy(self.policy) if isinstance(self.policy, str) else self.policy
+        store = self.store
+        session_seed = self.options.seed
+
+        def make(task, cost_model, seed):
+            # Every variant gets the *session* seed (not the scheduler's
+            # index-offset seed) and its own cost model scoped by variant
+            # name (not the shared per-target model): the variants are
+            # structurally different DAGs, so identical seeds cannot
+            # correlate their searches, while training one model on a
+            # mixture of variant structures measurably misleads the search
+            # away from schedules the same model finds when trained on one
+            # structure.  Both choices make a variant's trajectory a
+            # truncation of what a single-task session with the same
+            # options would explore — arbitration redistributes budget, it
+            # does not reshuffle the search.
+            scoped = self._service.view(
+                f"{task.target_name}::variant={task.variant}"
+            )
+            policy = factory(
+                task, cost_model=scoped, seed=session_seed, verbose=self.options.verbose
+            )
+            if store is not None:
+                policy.bind_store(store)
+            return policy
+
+        return make
+
+    def tune(self) -> VariantResult:
+        """Run the arbitrated group session and return its :class:`VariantResult`."""
+        options = self.options
+        if self.store is not None:
+            for task in self.tasks:
+                self.store.register_task(task)
+        self._service = self.cost_model_service or CostModelService(seed=options.seed)
+        scheduler = TaskScheduler(
+            self.tasks,
+            task_weights=self.weights,
+            policy_factory=self._policy_factory(),
+            cost_model_service=self._service,
+            seed=options.seed,
+            verbose=options.verbose,
+        )
+        pruner = VariantPruner(
+            margin=options.variant_prune_margin,
+            min_trials=options.variant_min_trials,
+        )
+        callbacks = list(self.callbacks)
+        if self.store is not None and not any(
+            isinstance(cb, StoreWriter) and cb.store is self.store for cb in callbacks
+        ):
+            callbacks.append(StoreWriter(self.store))
+        callbacks.append(pruner)
+        scheduler.tune(
+            options.num_measure_trials,
+            options.num_measures_per_round,
+            measurer=self.measurer,
+            callbacks=callbacks,
+            measurer_factory=lambda hw: MeasurePipeline.from_options(hw, options),
+            async_measure=options.async_measure,
+        )
+        self.scheduler = scheduler
+        return self._assemble(scheduler, pruner)
+
+    def _assemble(self, scheduler: TaskScheduler, pruner: VariantPruner) -> VariantResult:
+        states = scheduler.best_states()
+        trajectories = [
+            VariantTrajectory(
+                variant=task.variant,
+                task=task,
+                best_cost=scheduler.best_costs[i],
+                best_state=states[i],
+                num_trials=scheduler.task_trials[i],
+                history=list(scheduler.latency_history[i]),
+                pruned_at=pruner.pruned_at.get(i),
+            )
+            for i, task in enumerate(self.tasks)
+        ]
+        finite = [t for t in trajectories if math.isfinite(t.best_cost)]
+        winner = min(finite, key=lambda t: t.best_cost) if finite else None
+        return VariantResult(
+            logical_key=self.logical_key,
+            target=self.tasks[0].target_name,
+            winner=winner.variant if winner else None,
+            best_cost=winner.best_cost if winner else float("inf"),
+            best_state=winner.best_state if winner else None,
+            trajectories=trajectories,
+            total_trials=scheduler.total_trials,
+            scheduler=scheduler,
+        )

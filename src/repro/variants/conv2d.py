@@ -1,0 +1,136 @@
+"""Competing conv2d formulations (the MG3MConv-style variant group).
+
+Three algorithmically different DAGs for the same logical 2D convolution,
+all numerically identical to :func:`repro.workloads.ops.conv2d` (the
+executor's implicit zero padding gives all three the same boundary
+semantics):
+
+* ``direct`` — the textbook 7-loop nest.  No extra memory, but the input
+  access strides by ``stride`` / ``dilation`` along the spatial axes, which
+  hurts vectorization on strided shapes.
+* ``im2col`` — materialize the patch tensor ``cols[n, oh, ow, c, kh, kw]``
+  (rows = output positions, columns = receptive fields), then contract it
+  with the filter as a GEMM.  The strided gather is paid once; the GEMM's
+  reduction runs over contiguous memory.  Costs an extra
+  ``OH*OW*C*K*K`` buffer — great on machines with cache to spare, painful
+  on low-memory edge targets.
+* ``tiled-gemm`` — the transposed packing ``pack[n, c, kh, kw, oh, ow]``
+  (spatial innermost), contracted as a GEMM whose *spatial* axis is
+  contiguous: the schedule can vectorize the output tile along ``ow``
+  against a stride-0 filter operand, the layout wide-vector machines want.
+  Same extra footprint as im2col, different contraction geometry.
+
+The group demonstrates the point of variant search: which formulation wins
+depends on the target (wide-vector vs low-memory edge), and the arbiter
+discovers the winner per ``(shape, target)`` instead of hard-coding it.
+"""
+
+from __future__ import annotations
+
+from .. import te
+from ..te.dag import ComputeDAG
+from ..workloads.ops import _validate_conv2d_params, conv2d
+from .registry import register_variant
+
+__all__ = ["conv2d_direct", "conv2d_im2col", "conv2d_tiled_gemm"]
+
+
+@register_variant("conv2d", "direct")
+def conv2d_direct(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    dilation: int = 1,
+) -> ComputeDAG:
+    """The direct 7-loop nest (delegates to the workload-zoo definition)."""
+    return conv2d(
+        batch, in_channels, height, width, out_channels, kernel, stride, padding, dilation
+    )
+
+
+@register_variant("conv2d", "im2col")
+def conv2d_im2col(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    dilation: int = 1,
+) -> ComputeDAG:
+    """Patch-major im2col: gather ``cols[n, oh, ow, c, kh, kw]``, then GEMM."""
+    out_h, out_w = _validate_conv2d_params(
+        "conv2d[im2col]", height, width, kernel, stride, padding, dilation
+    )
+    data = te.placeholder((batch, in_channels, height, width), name="data")
+    weight = te.placeholder((out_channels, in_channels, kernel, kernel), name="weight")
+    cols = te.compute(
+        (batch, out_h, out_w, in_channels, kernel, kernel),
+        lambda n, oh, ow, c, kh, kw: data[
+            n, c, oh * stride - padding + kh * dilation, ow * stride - padding + kw * dilation
+        ],
+        name="im2col",
+        tag="im2col",
+    )
+    rc = te.reduce_axis(in_channels, "rc")
+    rkh = te.reduce_axis(kernel, "rkh")
+    rkw = te.reduce_axis(kernel, "rkw")
+    conv = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, co, oh, ow: te.sum_expr(
+            cols[n, oh, ow, rc, rkh, rkw] * weight[co, rc, rkh, rkw],
+            [rc, rkh, rkw],
+        ),
+        name="im2col_gemm",
+        tag="im2col_gemm",
+    )
+    return ComputeDAG([conv])
+
+
+@register_variant("conv2d", "tiled-gemm")
+def conv2d_tiled_gemm(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    dilation: int = 1,
+) -> ComputeDAG:
+    """Spatial-major packing ``pack[n, c, kh, kw, oh, ow]``, then a GEMM
+    whose output tile is contiguous along ``ow``."""
+    out_h, out_w = _validate_conv2d_params(
+        "conv2d[tiled-gemm]", height, width, kernel, stride, padding, dilation
+    )
+    data = te.placeholder((batch, in_channels, height, width), name="data")
+    weight = te.placeholder((out_channels, in_channels, kernel, kernel), name="weight")
+    pack = te.compute(
+        (batch, in_channels, kernel, kernel, out_h, out_w),
+        lambda n, c, kh, kw, oh, ow: data[
+            n, c, oh * stride - padding + kh * dilation, ow * stride - padding + kw * dilation
+        ],
+        name="colpack",
+        tag="colpack",
+    )
+    rc = te.reduce_axis(in_channels, "rc")
+    rkh = te.reduce_axis(kernel, "rkh")
+    rkw = te.reduce_axis(kernel, "rkw")
+    conv = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, co, oh, ow: te.sum_expr(
+            pack[n, rc, rkh, rkw, oh, ow] * weight[co, rc, rkh, rkw],
+            [rc, rkh, rkw],
+        ),
+        name="tiled_gemm",
+        tag="tiled_gemm",
+    )
+    return ComputeDAG([conv])

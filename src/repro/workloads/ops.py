@@ -52,6 +52,51 @@ def _conv_out(size: int, kernel: int, stride: int, padding: int, dilation: int =
     return (size + 2 * padding - effective) // stride + 1
 
 
+def _check_conv_knobs(op: str, kernel: int, stride: int, padding: int, dilation: int = 1) -> None:
+    """Reject degenerate convolution hyper-parameters with a clear error."""
+    if kernel < 1:
+        raise ValueError(f"{op}: kernel must be >= 1, got {kernel}")
+    if stride < 1:
+        raise ValueError(f"{op}: stride must be >= 1, got {stride}")
+    if padding < 0:
+        raise ValueError(f"{op}: padding must be >= 0, got {padding}")
+    if dilation < 1:
+        raise ValueError(f"{op}: dilation must be >= 1, got {dilation}")
+
+
+def _conv_out_checked(
+    op: str, axis: str, size: int, kernel: int, stride: int, padding: int, dilation: int = 1
+) -> int:
+    """Output extent of one convolved axis; non-positive sizes raise instead
+    of silently constructing a degenerate DAG."""
+    if size < 1:
+        raise ValueError(f"{op}: input {axis} must be >= 1, got {size}")
+    out = _conv_out(size, kernel, stride, padding, dilation)
+    if out < 1:
+        effective = dilation * (kernel - 1) + 1
+        raise ValueError(
+            f"{op}: non-positive output {axis} ({out}) — input {axis} {size} with "
+            f"kernel {kernel} (effective {effective}), stride {stride}, "
+            f"padding {padding}, dilation {dilation} leaves no output positions"
+        )
+    return out
+
+
+def _validate_conv2d_params(
+    op: str, height: int, width: int, kernel: int, stride: int, padding: int, dilation: int = 1
+) -> Tuple[int, int]:
+    """Validate a 2D convolution's hyper-parameters; returns ``(out_h, out_w)``.
+
+    Shared by the workload-zoo builders below and the algorithm variants in
+    :mod:`repro.variants.conv2d`, so every formulation rejects the same
+    degenerate configurations with the same message shape.
+    """
+    _check_conv_knobs(op, kernel, stride, padding, dilation)
+    out_h = _conv_out_checked(op, "height", height, kernel, stride, padding, dilation)
+    out_w = _conv_out_checked(op, "width", width, kernel, stride, padding, dilation)
+    return out_h, out_w
+
+
 # ---------------------------------------------------------------------------
 # Operator definitions
 # ---------------------------------------------------------------------------
@@ -94,7 +139,8 @@ def conv1d(
     batch: int, in_channels: int, length: int, out_channels: int, kernel: int, stride: int, padding: int
 ) -> ComputeDAG:
     """1D convolution in NCW layout."""
-    out_l = _conv_out(length, kernel, stride, padding)
+    _check_conv_knobs("conv1d", kernel, stride, padding)
+    out_l = _conv_out_checked("conv1d", "length", length, kernel, stride, padding)
     data = te.placeholder((batch, in_channels, length), name="data")
     weight = te.placeholder((out_channels, in_channels, kernel), name="weight")
     rc = te.reduce_axis(in_channels, "rc")
@@ -122,8 +168,9 @@ def conv2d(
     dilation: int = 1,
 ) -> ComputeDAG:
     """2D convolution in NCHW layout (implicit zero padding)."""
-    out_h = _conv_out(height, kernel, stride, padding, dilation)
-    out_w = _conv_out(width, kernel, stride, padding, dilation)
+    out_h, out_w = _validate_conv2d_params(
+        "conv2d", height, width, kernel, stride, padding, dilation
+    )
     data = te.placeholder((batch, in_channels, height, width), name="data")
     weight = te.placeholder((out_channels, in_channels, kernel, kernel), name="weight")
     rc = te.reduce_axis(in_channels, "rc")
@@ -154,9 +201,10 @@ def conv3d(
     padding: int,
 ) -> ComputeDAG:
     """3D convolution in NCDHW layout."""
-    out_d = _conv_out(depth, kernel, stride, padding)
-    out_h = _conv_out(height, kernel, stride, padding)
-    out_w = _conv_out(width, kernel, stride, padding)
+    _check_conv_knobs("conv3d", kernel, stride, padding)
+    out_d = _conv_out_checked("conv3d", "depth", depth, kernel, stride, padding)
+    out_h = _conv_out_checked("conv3d", "height", height, kernel, stride, padding)
+    out_w = _conv_out_checked("conv3d", "width", width, kernel, stride, padding)
     data = te.placeholder((batch, in_channels, depth, height, width), name="data")
     weight = te.placeholder((out_channels, in_channels, kernel, kernel, kernel), name="weight")
     rc = te.reduce_axis(in_channels, "rc")
@@ -194,8 +242,16 @@ def group_conv2d(
     groups: int,
 ) -> ComputeDAG:
     """Grouped 2D convolution."""
-    out_h = _conv_out(height, kernel, stride, padding)
-    out_w = _conv_out(width, kernel, stride, padding)
+    out_h, out_w = _validate_conv2d_params(
+        "group_conv2d", height, width, kernel, stride, padding
+    )
+    if groups < 1:
+        raise ValueError(f"group_conv2d: groups must be >= 1, got {groups}")
+    if in_channels % groups or out_channels % groups:
+        raise ValueError(
+            f"group_conv2d: groups ({groups}) must divide in_channels "
+            f"({in_channels}) and out_channels ({out_channels})"
+        )
     ci_per_group = in_channels // groups
     co_per_group = out_channels // groups
     data = te.placeholder((batch, in_channels, height, width), name="data")
@@ -247,8 +303,9 @@ def depthwise_conv2d(
     padding: int,
 ) -> ComputeDAG:
     """Depth-wise 2D convolution (one filter per channel)."""
-    out_h = _conv_out(height, kernel, stride, padding)
-    out_w = _conv_out(width, kernel, stride, padding)
+    out_h, out_w = _validate_conv2d_params(
+        "depthwise_conv2d", height, width, kernel, stride, padding
+    )
     data = te.placeholder((batch, channels, height, width), name="data")
     weight = te.placeholder((channels, 1, kernel, kernel), name="weight")
     rh = te.reduce_axis(kernel, "rh")
@@ -281,8 +338,15 @@ def transposed_conv2d(
     integer; the guard is expressed with a Select so the code generator can
     simplify multiplications by zero (the T2D discussion in §7.1).
     """
+    _check_conv_knobs("transposed_conv2d", kernel, stride, padding)
     out_h = (height - 1) * stride - 2 * padding + kernel
     out_w = (width - 1) * stride - 2 * padding + kernel
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"transposed_conv2d: non-positive output size ({out_h}x{out_w}) — "
+            f"input {height}x{width} with kernel {kernel}, stride {stride}, "
+            f"padding {padding} leaves no output positions"
+        )
     data = te.placeholder((batch, in_channels, height, width), name="data")
     weight = te.placeholder((in_channels, out_channels, kernel, kernel), name="weight")
     rc = te.reduce_axis(in_channels, "rc")
@@ -319,8 +383,11 @@ def capsule_conv2d(
     capsule_size: int = 4,
 ) -> ComputeDAG:
     """Capsule 2D convolution: every "pixel" is a capsule_size^2 matrix."""
-    out_h = _conv_out(height, kernel, stride, padding)
-    out_w = _conv_out(width, kernel, stride, padding)
+    out_h, out_w = _validate_conv2d_params(
+        "capsule_conv2d", height, width, kernel, stride, padding
+    )
+    if capsule_size < 1:
+        raise ValueError(f"capsule_conv2d: capsule_size must be >= 1, got {capsule_size}")
     data = te.placeholder((batch, in_channels, height, width, capsule_size, capsule_size), name="data")
     weight = te.placeholder(
         (out_channels, in_channels, kernel, kernel, capsule_size, capsule_size), name="weight"

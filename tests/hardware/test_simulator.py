@@ -8,7 +8,15 @@ Intel vs GPU) must show up in the obvious direction.
 
 import pytest
 
-from repro.hardware import CostSimulator, arm_cpu, intel_cpu, nvidia_gpu
+from repro.hardware import (
+    CostSimulator,
+    arm_cpu,
+    edge_cpu,
+    intel_cpu,
+    manycore_numa_cpu,
+    nvidia_gpu,
+    wide_vector_cpu,
+)
 from repro.hardware.platform import target_from_name
 
 from ..conftest import make_matmul_dag, make_matmul_relu_dag
@@ -136,12 +144,35 @@ def test_nest_cost_breakdown_fields(sim, dag512):
 def test_target_lookup():
     assert target_from_name("intel-cpu").kind == "cpu"
     assert target_from_name("nvidia-gpu").kind == "gpu"
-    with pytest.raises(ValueError):
+    assert target_from_name("wide-vector-cpu").vector_lanes == 16
+    assert target_from_name("manycore-numa-cpu").num_cores == 64
+    assert target_from_name("edge-cpu").num_cores == 2
+    # Unknown names raise KeyError listing every registered target.
+    with pytest.raises(KeyError) as excinfo:
         target_from_name("tpu-v9")
+    message = str(excinfo.value)
+    for name in (
+        "tpu-v9",
+        "intel-cpu",
+        "intel-cpu-avx512",
+        "arm-cpu",
+        "nvidia-gpu",
+        "wide-vector-cpu",
+        "manycore-numa-cpu",
+        "edge-cpu",
+    ):
+        assert name in message
 
 
 def test_hardware_presets_are_sane():
-    for hw in (intel_cpu(), arm_cpu(), nvidia_gpu()):
+    for hw in (
+        intel_cpu(),
+        arm_cpu(),
+        nvidia_gpu(),
+        wide_vector_cpu(),
+        manycore_numa_cpu(),
+        edge_cpu(),
+    ):
         assert hw.num_cores >= 1
         assert hw.peak_flops() > 0
         assert hw.cache_levels[0].capacity_bytes < hw.cache_levels[-1].capacity_bytes or len(hw.cache_levels) == 1

@@ -25,6 +25,16 @@ def test_unknown_network_rejected():
         get_network_tasks("alexnet")
 
 
+def test_network_registry_is_complete():
+    """Every advertised network name is backed by a registered builder and
+    vice versa — NETWORK_NAMES is the registry, not a parallel list."""
+    from repro.workloads.networks import _NETWORKS
+
+    assert set(_NETWORKS) == set(NETWORK_NAMES)
+    for name in NETWORK_NAMES:
+        assert get_network_tasks(name, batch=1)
+
+
 def test_resnet50_task_count_close_to_paper():
     """§6: ResNet-50 has 29 unique subgraphs among its conv layers."""
     tasks = get_network_tasks("resnet-50", batch=1)

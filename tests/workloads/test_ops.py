@@ -103,3 +103,56 @@ def test_norm_has_two_stages():
     dag = make_op_dag("NRM", dict(m=64, n=64), batch=2)
     names = [op.name for op in dag.compute_ops]
     assert names == ["sumsq", "norm"]
+
+
+# ---------------------------------------------------------------------------
+# Parameter validation: degenerate conv configurations must raise, not build
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(kernel=0),
+        dict(kernel=-3),
+        dict(stride=0),
+        dict(stride=-1),
+        dict(padding=-1),
+        dict(dilation=0),
+    ],
+)
+def test_conv2d_rejects_bad_knobs(kwargs):
+    params = dict(batch=1, in_channels=4, height=8, width=8, out_channels=4,
+                  kernel=3, stride=1, padding=1, dilation=1)
+    params.update(kwargs)
+    with pytest.raises(ValueError):
+        conv2d(**params)
+
+
+def test_conv2d_rejects_non_positive_output():
+    # 4x4 input, 5x5 kernel, no padding: output would be 0x0.
+    with pytest.raises(ValueError, match="output"):
+        conv2d(1, 4, 4, 4, 4, 5, 1, 0)
+    # Dilation blows the effective kernel past the padded input.
+    with pytest.raises(ValueError, match="output"):
+        conv2d(1, 4, 8, 8, 4, 3, 1, 0, dilation=4)
+
+
+def test_conv2d_rejects_non_positive_input():
+    with pytest.raises(ValueError):
+        conv2d(1, 4, 0, 8, 4, 3, 1, 1)
+
+
+def test_conv3d_rejects_degenerate_depth():
+    with pytest.raises(ValueError):
+        conv3d(1, 4, 2, 8, 8, 4, 3, 1, 0)
+
+
+def test_group_conv2d_rejects_indivisible_groups():
+    with pytest.raises(ValueError, match="divide"):
+        group_conv2d(1, 4, 8, 8, 4, 3, 1, 1, groups=3)
+
+
+def test_capsule_conv2d_rejects_bad_capsule_size():
+    with pytest.raises(ValueError):
+        capsule_conv2d(1, 4, 8, 8, 8, 3, 1, 1, capsule_size=0)
